@@ -1,0 +1,143 @@
+"""Ablation benches beyond the paper's figures.
+
+These probe the design choices DESIGN.md calls out:
+
+* consensus quorum sweep — availability vs. safety margin (the 50 %→80 %
+  quorum change the paper's citations [7, 8] prompted);
+* validator-count robustness — how many active validators the network can
+  lose before availability collapses (the Section IV takeover concern);
+* IG vs. history size — uniqueness of fingerprints as the ledger grows;
+* IG: strict uniqueness vs. sender-identification attacker models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.dataset import TransactionDataset
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.faults import active, offline
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.core.deanonymizer import Deanonymizer
+from repro.core.resolution import AmountResolution, FeatureList, TimeResolution
+
+ROUNDS = 120
+
+
+def _engine(n_active, n_total, quorum, seed=0):
+    names = [f"v{i}" for i in range(n_total)]
+    unl = UNL.of(names)
+    validators = [
+        Validator(
+            name,
+            unl,
+            active(availability=0.97) if i < n_active else offline(availability=0.05),
+        )
+        for i, name in enumerate(names)
+    ]
+    return ConsensusEngine(validators, master_unl=unl, quorum=quorum, seed=seed)
+
+
+def test_quorum_sweep(results_dir):
+    """Availability as the validation quorum rises from 50 % to 90 %."""
+    lines = ["Ablation — quorum sweep (10 validators, 7 reliable)"]
+    availabilities = {}
+    for quorum in (0.5, 0.6, 0.7, 0.8, 0.9):
+        report = _engine(7, 10, quorum, seed=3).run(ROUNDS)
+        availabilities[quorum] = report.availability
+        lines.append(f"  quorum {quorum:.0%}: availability {report.availability:.3f}")
+    write_result(results_dir, "ablation_quorum.txt", "\n".join(lines))
+    # Availability decreases monotonically (weakly) in the quorum.
+    values = [availabilities[q] for q in (0.5, 0.6, 0.7, 0.8, 0.9)]
+    assert all(a >= b - 0.05 for a, b in zip(values, values[1:]))
+    assert availabilities[0.5] > availabilities[0.9]
+
+
+def test_validator_loss_sweep(results_dir):
+    """The Section IV concern: losing the few active validators kills the
+    network well before losing the many passive ones does."""
+    lines = ["Ablation — active-validator loss (UNL of 10, quorum 80 %)"]
+    availability_by_active = {}
+    for n_active in (10, 9, 8, 7, 6, 5):
+        report = _engine(n_active, 10, 0.8, seed=4).run(ROUNDS)
+        availability_by_active[n_active] = report.availability
+        lines.append(
+            f"  {n_active} active of 10: availability {report.availability:.3f}"
+        )
+    write_result(results_dir, "ablation_validator_loss.txt", "\n".join(lines))
+    assert availability_by_active[10] > 0.9
+    # Losing 3+ of 10 under an 80 % quorum halts validation.
+    assert availability_by_active[6] < 0.2
+    assert availability_by_active[5] < 0.05
+
+
+def test_ig_vs_history_size(bench_history, results_dir):
+    """Fingerprint uniqueness decays as the history grows (more collisions)."""
+    low = FeatureList(AmountResolution.LOW, TimeResolution.DAYS, True, True)
+    lines = ["Ablation — low-resolution IG vs. history size"]
+    fractions = []
+    for divisor in (8, 4, 2, 1):
+        records = bench_history.records[: len(bench_history.records) // divisor]
+        dataset = TransactionDataset.from_records(records)
+        ig = Deanonymizer(dataset).information_gain(low)
+        fractions.append(ig.fraction)
+        lines.append(f"  n={len(dataset):6d}: IG {ig.percent:6.2f}%")
+    write_result(results_dir, "ablation_ig_vs_size.txt", "\n".join(lines))
+    assert fractions[0] >= fractions[-1] - 0.02
+
+
+def test_ig_attacker_models(bench_dataset, results_dir):
+    """Strict fingerprint uniqueness vs. the stronger sender-identification
+    reading (repeated spam fingerprints still identify their one sender)."""
+    lines = ["Ablation — IG under the two attacker models"]
+    deanonymizer = Deanonymizer(bench_dataset)
+    for feature_list in (
+        FeatureList(),
+        FeatureList(AmountResolution.LOW, TimeResolution.DAYS, True, True),
+        FeatureList(AmountResolution.LOW, TimeResolution.DAYS, False, False),
+    ):
+        strict = deanonymizer.information_gain(feature_list, strict=True)
+        loose = deanonymizer.information_gain(feature_list, strict=False)
+        lines.append(
+            f"  {feature_list.label():24s} strict {strict.percent:6.2f}%   "
+            f"sender-id {loose.percent:6.2f}%"
+        )
+        assert loose.identified >= strict.identified
+    write_result(results_dir, "ablation_attacker_models.txt", "\n".join(lines))
+
+
+def test_spam_ablation(results_dir):
+    """What Ripple's statistics would look like without the attacks.
+
+    Regenerates a spam-free economy (no CCK swarm, no MTL campaign, no
+    gambling/ACCOUNT_ZERO flows) and contrasts the headline artifacts.
+    """
+    from repro.analysis import TransactionDataset, currency_ranking, path_structure
+    from repro.synthetic.generator import LedgerHistoryGenerator
+    from repro.synthetic.scenarios import build_no_spam
+
+    history = LedgerHistoryGenerator(build_no_spam(n_payments=6_000)).generate()
+    dataset = TransactionDataset.from_records(history.records)
+    ranking = currency_ranking(dataset)
+    structure = path_structure(dataset)
+    lines = ["Ablation — the economy without the spam campaigns"]
+    lines.append("  top currencies: " + ", ".join(
+        f"{usage.code} {usage.share:.1%}" for usage in ranking[:6]
+    ))
+    lines.append(f"  8-hop payments: {structure.hops_histogram.get(8, 0)} (with spam: ~28% of multi-hop)")
+    lines.append(f"  6-parallel-path payments: {structure.parallel_histogram.get(6, 0)}")
+    lines.append(f"  44-hop outliers: {structure.hops_histogram.get(44, 0)}")
+    write_result(results_dir, "ablation_no_spam.txt", "\n".join(lines))
+    # The spam spikes vanish; only organic structure remains.
+    assert structure.hops_histogram.get(8, 0) == 0
+    assert structure.parallel_histogram.get(6, 0) == 0
+    assert ranking[0].code == "XRP" and ranking[0].share > 0.6
+
+
+def test_bench_consensus_round_throughput(benchmark):
+    """Benchmark: raw consensus rounds per second on a healthy 15-UNL."""
+    engine = _engine(15, 15, 0.8, seed=6)
+    report = benchmark.pedantic(lambda: engine.run(50), rounds=3, iterations=1)
+    assert report.availability > 0.9

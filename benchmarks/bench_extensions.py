@@ -1,0 +1,111 @@
+"""Extension benches: defenses, wallet linking, and the reward proposal.
+
+These go beyond the paper's evaluation and quantify its *discussion*
+sections: how well the countermeasures of Section V's closing paragraphs
+would work (and what they cost), how the related-work linking heuristics
+compose with the attack, and whether Section IV's proposed reward system
+would actually grow the validator population.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.consensus.rewards import RewardPolicy, IncentiveSimulation, compare_policies
+from repro.core.clustering import activation_clusters, behavioural_clusters
+from repro.core.defenses import standard_defense_suite
+from repro.core.resolution import FIGURE3_FEATURE_LISTS
+
+
+@pytest.fixture(scope="module")
+def defense_reports(bench_dataset):
+    return standard_defense_suite(
+        bench_dataset, feature_lists=FIGURE3_FEATURE_LISTS[:1]
+    )
+
+
+def test_defense_suite_rendering(defense_reports, results_dir):
+    label = FIGURE3_FEATURE_LISTS[0].label()
+    lines = ["Extension — de-anonymization countermeasures"]
+    for report in defense_reports:
+        lines.append(
+            f"  {report.name:22s} IG {report.ig_before[label]:6.2f}% -> "
+            f"{report.ig_after[label]:6.2f}%   costs={report.costs}"
+        )
+    write_result(results_dir, "ext_defenses.txt", "\n".join(lines))
+
+
+def test_defenses_tradeoffs(defense_reports):
+    label = FIGURE3_FEATURE_LISTS[0].label()
+    by_name = {report.name: report for report in defense_reports}
+    # Settlement batching blunts the strongest feature but not to zero.
+    batching = by_name["settlement-batching"]
+    assert batching.ig_after[label] <= batching.ig_before[label]
+    assert batching.costs["mean_settlement_delay_seconds"] > 0
+    # Per-payment wallets leave IG intact but zero the history exposure —
+    # and the bootstrap cost is one trust line per IOU payment.
+    wallets = by_name["per-payment-wallets"]
+    assert wallets.costs["history_exposure_after"] == 0.0
+    assert wallets.costs["history_exposure_before"] > 0.5
+    assert wallets.costs["trust_lines_to_bootstrap"] > 10_000
+    # Amount padding costs real money.
+    padding = by_name["amount-padding"]
+    assert padding.costs["mean_overpayment_fraction"] > 0.05
+
+
+def test_wallet_linking(bench_history, bench_dataset, results_dir):
+    clusters = activation_clusters(bench_history.records, min_size=3)
+    behavioural = behavioural_clusters(bench_dataset, threshold=0.85, min_payments=10)
+    lines = [
+        "Extension — wallet-linking heuristics (Moreno-Sanchez et al.)",
+        f"  activation clusters (>=3 wallets per funder): {len(clusters)}",
+    ]
+    if clusters:
+        funder, members = clusters[0]
+        lines.append(
+            f"  largest: {bench_history.cast.label(funder)} activated "
+            f"{len(members)} accounts"
+        )
+    lines.append(f"  behavioural clusters (similarity >= 0.85): {len(behavioural)}")
+    write_result(results_dir, "ext_wallet_linking.txt", "\n".join(lines))
+    # ACCOUNT_ZERO / heavy XRP senders activate many accounts.
+    assert clusters
+
+
+def test_reward_proposal(results_dir):
+    sweep = compare_policies([0.0, 0.01, 0.05, 0.2, 1.0], seed=8, epochs=40)
+    lines = ["Extension — Section IV reward-system proposal (tax per transaction)"]
+    for tax, validators, exposure in sweep:
+        lines.append(
+            f"  tax {tax:5.2f}: equilibrium validators {validators:4d}, "
+            f"top-3 signature share {exposure:.1%}"
+        )
+    write_result(results_dir, "ext_rewards.txt", "\n".join(lines))
+    sizes = [validators for _, validators, _ in sweep]
+    assert sizes[0] == 5            # status quo: Ripple Labs only
+    assert sizes == sorted(sizes)   # more reward, more validators
+    assert sizes[-1] > 30           # a real population emerges
+    exposures = [exposure for _, _, exposure in sweep]
+    assert exposures[-1] < exposures[0]
+
+
+def test_bench_defense_evaluation(benchmark, bench_dataset):
+    from repro.core.defenses import evaluate_defense, settlement_batching
+
+    report = benchmark.pedantic(
+        lambda: evaluate_defense(
+            bench_dataset, "settlement-batching", settlement_batching
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert report.ig_after
+
+
+def test_bench_incentive_simulation(benchmark):
+    result = benchmark(
+        lambda: IncentiveSimulation(RewardPolicy(0.05), seed=9).run(40)
+    )
+    assert result[-1].active_validators >= 5

@@ -1,0 +1,57 @@
+"""Figure 4 — most-used currencies by payment count.
+
+Paper (appendix A): XRP tops the list with 49 % of all payments; the
+unrecognized CCK and MTL are second and third; BTC is the first well-known
+currency (4.7 %), then USD (3.8 %), CNY (3.3 %), JPY (2.1 %); EUR is only
+11th with 0.4 %; a long tail of dozens of currencies follows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.currencies import (
+    currency_ranking,
+    rank_of,
+    share_of,
+    unrecognized_in_top,
+)
+from repro.analysis.report import render_figure4
+
+PAPER_SHARES = {"XRP": 0.49, "BTC": 0.047, "USD": 0.038, "CNY": 0.033, "JPY": 0.021, "EUR": 0.004}
+
+
+@pytest.fixture(scope="module")
+def ranking(bench_dataset):
+    return currency_ranking(bench_dataset)
+
+
+def test_fig4_rendering(bench_dataset, ranking, results_dir):
+    lines = [render_figure4(ranking, top=30), "", "paper shares for comparison:"]
+    for code, share in PAPER_SHARES.items():
+        measured = share_of(bench_dataset, code)
+        lines.append(f"  {code}: paper {share * 100:5.2f}%  measured {measured * 100:5.2f}%")
+    write_result(results_dir, "fig4_currencies.txt", "\n".join(lines))
+
+
+def test_fig4_shape_matches_paper(bench_dataset, ranking):
+    assert ranking[0].code == "XRP"
+    assert ranking[0].share == pytest.approx(0.49, abs=0.02)
+    # CCK and MTL (unrecognized) fill the next two slots.
+    assert {ranking[1].code, ranking[2].code} == {"CCK", "MTL"}
+    assert unrecognized_in_top(bench_dataset, 3) != []
+    # Well-known currency ordering: BTC > USD > CNY > JPY > ... > EUR.
+    assert rank_of(bench_dataset, "BTC") < rank_of(bench_dataset, "USD")
+    assert rank_of(bench_dataset, "USD") < rank_of(bench_dataset, "CNY")
+    assert rank_of(bench_dataset, "CNY") < rank_of(bench_dataset, "JPY")
+    assert rank_of(bench_dataset, "JPY") < rank_of(bench_dataset, "EUR")
+    for code, share in PAPER_SHARES.items():
+        assert share_of(bench_dataset, code) == pytest.approx(share, abs=0.015)
+    # A genuine long tail exists.
+    assert len(ranking) > 30
+
+
+def test_bench_currency_ranking(benchmark, bench_dataset):
+    ranking = benchmark(currency_ranking, bench_dataset)
+    assert ranking[0].code == "XRP"

@@ -1,0 +1,70 @@
+"""Figure 6 — structure of payment paths.
+
+Paper (appendix B): of 23M payments, 13M are direct XRP; the 10M multi-hop
+payments mostly use <5 intermediate hops with a 3.3M spike at *exactly 8*
+(MTL spam), plus a curiosity at 44; parallel-path counts mass at 1-4
+(16.3/10.4/9.3/28.9 %) with the MTL spam pinned at exactly 6.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.paths import path_structure, spam_hop_attribution
+from repro.analysis.report import render_figure6
+
+
+@pytest.fixture(scope="module")
+def structure(bench_dataset):
+    return path_structure(bench_dataset)
+
+
+def test_fig6_rendering(bench_dataset, structure, results_dir):
+    attribution = spam_hop_attribution(bench_dataset, 8)
+    lines = [
+        render_figure6(structure),
+        "",
+        f"direct XRP payments excluded (paper: 13M of 23M): "
+        f"{structure.direct_xrp_payments}",
+        f"currency attribution of the 8-hop spike (paper: 3.3M MTL): {attribution}",
+    ]
+    write_result(results_dir, "fig6_paths.txt", "\n".join(lines))
+
+
+def test_fig6a_shape_matches_paper(bench_dataset, structure):
+    # Majority of organic payments below 5 intermediate hops, decreasing.
+    assert structure.hop_share(1) > structure.hop_share(2)
+    assert structure.hop_share(2) > structure.hop_share(3)
+    assert structure.hop_share(3) > structure.hop_share(4)
+    # The spam spike sits at exactly 8 hops and is MTL.
+    assert structure.modal_spam_hop() == 8
+    attribution = spam_hop_attribution(bench_dataset, 8)
+    assert max(attribution, key=attribution.get) == "MTL"
+    # The 44-hop outlier exists.
+    assert structure.hops_histogram.get(44, 0) >= 1
+    # Nothing organic beyond the path-length cap but below the outlier.
+    assert not any(12 <= hops < 44 for hops in structure.hops_histogram)
+
+
+def test_fig6b_shape_matches_paper(structure):
+    # Unsplit payments are the single largest class (paper: 16.3 % plus
+    # most of the bridged traffic).
+    organic = {k: structure.parallel_share(k) for k in (1, 2, 3, 4)}
+    assert organic[1] > organic[2] > organic[4]
+    assert organic[2] > 0.02 and organic[3] > 0.01
+    # The MTL spam occupies exactly 6 parallel paths (paper: 34.8 %).
+    assert structure.parallel_share(6) == pytest.approx(0.28, abs=0.06)
+    assert structure.parallel_share(5) < 0.02
+
+
+def test_direct_xrp_majority(bench_dataset, structure):
+    # Paper: 13M direct XRP of 23M total.
+    assert structure.direct_xrp_payments / len(bench_dataset) == pytest.approx(
+        0.49, abs=0.03
+    )
+
+
+def test_bench_path_structure(benchmark, bench_dataset):
+    structure = benchmark(path_structure, bench_dataset)
+    assert structure.multi_hop_payments > 0

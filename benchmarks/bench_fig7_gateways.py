@@ -1,0 +1,82 @@
+"""Figure 7 — the 50 most path-central accounts and their profiles.
+
+Paper (appendix D): 50 peers relay ~86 % of multi-hop payments; the top two
+(rp2PaY..., r42Ccn...) are *not* gateways and relay far more than anyone
+else; only ~20 of the top 50 are gateways; gateways concentrate incoming
+trust (17/20 declare none outgoing) and hold strictly negative balances,
+while common users hold positive balances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.gateways import (
+    coverage_of_top,
+    gateway_count_in_top,
+    top_intermediaries,
+)
+from repro.analysis.report import render_figure7
+
+
+@pytest.fixture(scope="module")
+def profiles(bench_history):
+    return top_intermediaries(bench_history, 50)
+
+
+def test_fig7_rendering(bench_history, profiles, results_dir):
+    coverage = coverage_of_top(bench_history, 50)
+    lines = [
+        render_figure7(profiles),
+        "",
+        f"top-50 coverage of multi-hop payments (paper: ~86 %): {coverage:.3f}",
+        f"gateways among top-50 (paper: ~20): {gateway_count_in_top(bench_history, 50)}",
+    ]
+    write_result(results_dir, "fig7_gateways.txt", "\n".join(lines))
+
+
+def test_fig7a_shape_matches_paper(bench_history, profiles):
+    # The two hubs top the ranking and are not gateways.
+    assert {profiles[0].label, profiles[1].label} == {
+        "rp2PaY...X1mEx7",
+        "r42Ccn...Xqm5M3",
+    }
+    assert not profiles[0].is_gateway and not profiles[1].is_gateway
+    # They relay clearly more than the best gateway.
+    best_gateway = max(
+        p.times_intermediate for p in profiles if p.is_gateway
+    )
+    assert profiles[0].times_intermediate > 1.3 * best_gateway
+    # A handful of accounts covers almost all multi-hop traffic.
+    assert coverage_of_top(bench_history, 50) > 0.85
+    # A substantial minority of the top 50 are gateways.
+    assert 5 <= gateway_count_in_top(bench_history, 50) <= 25
+
+
+def test_fig7b_trust_profiles(profiles):
+    gateways = [p for p in profiles if p.is_gateway]
+    others = [p for p in profiles if not p.is_gateway]
+    assert gateways and others
+    # Gateways: big incoming trust, (almost) no outgoing.
+    assert all(p.incoming_trust_eur > 0 for p in gateways)
+    declaring = sum(1 for p in gateways if p.outgoing_trust_eur > 0)
+    assert declaring <= len(gateways) * 0.35  # paper: 3 of 20
+    # Non-gateways receive far less trust than gateways.
+    median_gateway_in = sorted(p.incoming_trust_eur for p in gateways)[len(gateways) // 2]
+    assert all(p.incoming_trust_eur < median_gateway_in for p in others)
+
+
+def test_fig7c_balance_profiles(profiles):
+    gateways = [p for p in profiles if p.is_gateway]
+    others = [p for p in profiles if not p.is_gateway]
+    # Gateways exclusively owe (negative balances)...
+    assert all(p.balance_eur < 0 for p in gateways)
+    # ...while most common users hold credit.
+    positive = sum(1 for p in others if p.balance_eur > 0)
+    assert positive >= 0.7 * len(others)
+
+
+def test_bench_top_intermediaries(benchmark, bench_history):
+    profiles = benchmark(top_intermediaries, bench_history, 50)
+    assert len(profiles) == 50

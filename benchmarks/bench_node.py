@@ -1,0 +1,132 @@
+"""System-throughput benches: the full node, the applier, the arbitrage bot.
+
+Not a paper artifact — these measure the reproduction itself, so regressions
+in the substrates (pathfinding, consensus rounds, book matching) show up as
+throughput changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.apply import TransactionApplier
+from repro.ledger.crypto import KeyPair
+from repro.ledger.currency import USD, XRP
+from repro.ledger.offers import Offer
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import Payment
+from repro.node import RippledNode
+from repro.payments.arbitrage import ArbitrageBot
+
+
+def build_world(n_users: int = 50):
+    state = LedgerState()
+    gateway = account_from_name("bench-gateway", namespace="bench-node")
+    state.create_account(gateway, 10 ** 12)
+    users = []
+    for index in range(n_users):
+        account = account_from_name(f"bench-user-{index}", namespace="bench-node")
+        state.create_account(account, 10 ** 10)
+        state.set_trust(account, gateway, Amount.from_value(USD, 10 ** 7))
+        state.apply_hop(gateway, account, Amount.from_value(USD, 10 ** 5))
+        users.append(account)
+    return state, gateway, users
+
+
+def test_bench_applier_throughput(benchmark):
+    """Signed-payment applications per second (includes Schnorr verify)."""
+    state, _gateway, users = build_world()
+    applier = TransactionApplier(state)
+    key = KeyPair.from_seed(b"bench-user-0")
+    sequence = {"next": 1}
+
+    def apply_one():
+        tx = Payment(
+            account=users[0],
+            sequence=sequence["next"],
+            destination=users[1],
+            amount=Amount.from_value(USD, 3),
+        )
+        tx.sign(key)
+        sequence["next"] += 1
+        outcome = applier.apply(tx)
+        assert outcome.succeeded
+        return outcome
+
+    benchmark(apply_one)
+
+
+def test_bench_unsigned_payment_throughput(benchmark):
+    """Engine-only payments per second (routing + execution, no crypto)."""
+    state, _gateway, users = build_world()
+    applier = TransactionApplier(state, require_signatures=False)
+    sequence = {"next": 1}
+
+    def apply_one():
+        tx = Payment(
+            account=users[2],
+            sequence=sequence["next"],
+            destination=users[3],
+            amount=Amount.from_value(USD, 3),
+        )
+        sequence["next"] += 1
+        return applier.apply(tx)
+
+    outcome = benchmark(apply_one)
+    assert outcome.succeeded
+
+
+def test_bench_node_ledger_close(benchmark):
+    """Full closes per second: consensus round + canonical apply + seal."""
+    state, _gateway, users = build_world(10)
+    node = RippledNode(state=state, require_signatures=False, seed=3)
+    sequence = {"next": 1}
+
+    def close_once():
+        for offset in range(5):
+            node.submit(
+                Payment(
+                    account=users[4],
+                    sequence=sequence["next"],
+                    destination=users[5 + offset % 3],
+                    amount=Amount.from_value(USD, 1),
+                )
+            )
+            sequence["next"] += 1
+        ledger = node.close_ledger()
+        assert ledger is not None
+        return ledger
+
+    benchmark.pedantic(close_once, rounds=20, iterations=1)
+
+
+def test_bench_arbitrage_scan(benchmark):
+    state, _gateway, _users = build_world(5)
+    maker = account_from_name("bench-maker", namespace="bench-node")
+    state.create_account(maker, 10 ** 14)
+    sequence = 1
+    for currency in (USD,):
+        for index in range(20):
+            state.place_offer(
+                Offer(
+                    owner=maker,
+                    sequence=sequence,
+                    taker_pays=Amount.from_value(XRP, 1000 + index),
+                    taker_gets=Amount.from_value(currency, 10),
+                )
+            )
+            sequence += 1
+            state.place_offer(
+                Offer(
+                    owner=maker,
+                    sequence=sequence,
+                    taker_pays=Amount.from_value(currency, 10),
+                    taker_gets=Amount.from_value(XRP, 990 - index),
+                )
+            )
+            sequence += 1
+    bot = ArbitrageBot(state, maker)
+    quotes = benchmark(bot.find_opportunities, [USD])
+    assert isinstance(quotes, list)

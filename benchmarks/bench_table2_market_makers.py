@@ -1,0 +1,81 @@
+"""Table II — payment delivery with Market Makers removed.
+
+Paper (appendix C): starting from the Feb 2015 snapshot, replaying the
+payments delivered until Aug 2015 on a network without market makers and
+their offers delivers **0 %** of cross-currency payments, only **36.1 %**
+of single-currency payments, and **11.2 %** overall (of ~1.7M payments,
+68.7 % cross-currency).  Also: the top 10/50/100 makers place 50/75/87 %
+of all ~90M offers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.market_makers import (
+    offer_concentration,
+    replay_without_market_makers,
+    table2,
+)
+from repro.analysis.report import render_table2
+
+PAPER_ROWS = (
+    ("Cross-currency", 1_185_521, 0, 0.0),
+    ("Single-currency", 538_169, 194_300, 0.361),
+    ("Total", 1_723_690, 194_300, 0.112),
+)
+
+
+@pytest.fixture(scope="module")
+def replay(bench_history):
+    return table2(bench_history)
+
+
+def test_table2_rendering(bench_history, replay, results_dir):
+    concentration = offer_concentration(bench_history.offer_records)
+    lines = [render_table2(replay), "", "paper rows for comparison:"]
+    for category, submitted, delivered, rate in PAPER_ROWS:
+        lines.append(
+            f"  {category:16s} {submitted:10d} {delivered:10d} {rate * 100:7.1f}%"
+        )
+    lines += [
+        "",
+        "offer concentration (paper: top10=50 %, top50=75 %, top100=87 %):",
+        f"  {dict((k, round(v, 3)) for k, v in concentration.shares.items())}",
+        f"  total offers: {concentration.total_offers} (paper: ~90M)",
+    ]
+    control = replay_without_market_makers(bench_history, remove_market_makers=False)
+    lines.append(
+        f"control replay (makers intact) delivery rate: "
+        f"{control.total.delivery_rate:.3f}"
+    )
+    write_result(results_dir, "table2_market_makers.txt", "\n".join(lines))
+
+
+def test_table2_shape_matches_paper(replay):
+    # Every cross-currency payment fails without offers.
+    assert replay.cross_currency.submitted > 500
+    assert replay.cross_currency.delivered == 0
+    # The majority of single-currency payments fail too (paper: 63.9 %).
+    assert replay.single_currency.delivery_rate < 0.55
+    assert replay.single_currency.delivery_rate > 0.15
+    # Overall delivery collapses to ~1/9 (paper: 11.2 %).
+    assert replay.total.delivery_rate < 0.25
+    # The replayed window is majority cross-currency (paper: 68.7 %).
+    cross_share = replay.cross_currency.submitted / replay.total.submitted
+    assert cross_share == pytest.approx(0.687, abs=0.1)
+
+
+def test_offer_concentration_matches_paper(bench_history):
+    concentration = offer_concentration(bench_history.offer_records)
+    assert concentration.share_of_top(10) == pytest.approx(0.50, abs=0.1)
+    assert concentration.share_of_top(50) == pytest.approx(0.75, abs=0.1)
+    assert concentration.share_of_top(100) == pytest.approx(0.87, abs=0.07)
+
+
+def test_bench_table2_replay(benchmark, bench_history):
+    result = benchmark.pedantic(
+        lambda: table2(bench_history), rounds=2, iterations=1
+    )
+    assert result.cross_currency.delivered == 0

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+All figure/table benches read one synthetic history (as the paper's
+analyses all read one ledger download).  The history is generated once per
+session; rendered figure text is written to ``benchmarks/results/`` so the
+rows/series the paper reports can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.dataset import TransactionDataset
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import generate_history
+
+#: The benchmark economy: ~30k payments (paper: 23.4M — a ~1/800 scale that
+#: keeps every calibrated share intact while a full run stays under a
+#: minute).
+BENCH_CONFIG = EconomyConfig(
+    seed=20170652,
+    n_payments=30_000,
+    n_users=900,
+    n_gateways=20,
+    n_market_makers=120,
+    n_offers=120_000,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_history():
+    return generate_history(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_history):
+    return TransactionDataset.from_records(bench_history.records)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist a rendered figure/table and echo it for -s runs."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

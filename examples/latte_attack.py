@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The latte attack: de-anonymize a Ripple payment from a glance.
+
+Section V of the paper: Bob buys a latte; Alice, in line behind him, sees
+the bar's Ripple address, the amount, the currency, and the rough time.
+This script plays Alice over a synthetic three-year Ripple history:
+
+1. pick a random payment (Bob's latte);
+2. observe it at several resolutions — exact, minute-level, and a vague
+   "sometime that day, roughly that amount";
+3. query the public ledger for matching payments;
+4. when one sender matches, print Bob's entire financial life.
+
+Run:  python examples/latte_attack.py
+"""
+
+import numpy as np
+
+from repro.analysis import TransactionDataset
+from repro.core import (
+    Deanonymizer,
+    FeatureList,
+    Observation,
+    SideChannelAttack,
+    net_worth_eur,
+)
+from repro.core.resolution import AmountResolution, TimeResolution
+from repro.ledger.transactions import from_ripple_time
+from repro.synthetic import generate_history, small_config
+
+
+def main() -> None:
+    print("Generating three years of synthetic Ripple history...")
+    history = generate_history(small_config(seed=99, n_payments=6_000))
+    dataset = TransactionDataset.from_records(history.records)
+    attack = SideChannelAttack(dataset, history.state)
+
+    # Bob's latte: a random fiat payment from the history.
+    rng = np.random.default_rng(4)
+    fiat_rows = np.flatnonzero(dataset.kinds == "fiat")
+    row = int(rng.choice(fiat_rows))
+    truth = dataset.accounts[int(dataset.sender_ids[row])]
+    observation = Observation(
+        destination=dataset.accounts[int(dataset.destination_ids[row])],
+        currency=dataset.currency_code(int(dataset.currency_ids[row])),
+        amount=float(dataset.amounts[row]),
+        timestamp=int(dataset.timestamps[row]),
+    )
+    when = from_ripple_time(observation.timestamp)
+    print(f"\nAlice overhears: {observation.amount:g} {observation.currency} "
+          f"to {observation.destination.short()} at {when:%Y-%m-%d %H:%M:%S}")
+
+    scenarios = [
+        ("exact observation", FeatureList()),
+        ("minute-level time", FeatureList(AmountResolution.HIGH, TimeResolution.MINUTES)),
+        ("hour + rounded amount", FeatureList(AmountResolution.AVERAGE, TimeResolution.HOURS)),
+        ("vague: day + coarse amount", FeatureList(AmountResolution.LOW, TimeResolution.DAYS)),
+        ("no timestamp at all", FeatureList(AmountResolution.MAX, TimeResolution.NONE)),
+    ]
+    final = None
+    for label, feature_list in scenarios:
+        result = attack.run(observation, feature_list)
+        verdict = (
+            f"IDENTIFIED {result.sender.short()}"
+            if result.succeeded
+            else f"{len(result.candidates)} candidate senders"
+        )
+        correct = " (correct!)" if result.succeeded and result.sender == truth else ""
+        print(f"  {label:28s} -> {verdict}{correct}")
+        if result.succeeded and final is None:
+            final = result
+
+    if final is None:
+        print("\nNo scenario pinned Bob down — try another payment.")
+        return
+
+    profile = final.profile
+    print(f"\n=== Bob's dossier ({final.sender.address}) ===")
+    print(f"  payments sent / received : {profile.payments_sent} / {profile.payments_received}")
+    print(f"  total spent (EUR equiv.) : {profile.total_spent_eur:,.2f}")
+    print(f"  avg monthly income (EUR) : {profile.average_monthly_income_eur:,.2f}")
+    print(f"  avg monthly spend (EUR)  : {profile.average_monthly_spending_eur:,.2f}")
+    print(f"  net worth (EUR equiv.)   : {net_worth_eur(profile):,.2f}")
+    print("  where Bob shops (top merchants):")
+    for merchant, count in profile.top_merchants[:5]:
+        print(f"    {history.cast.label(merchant):30s} {count} payments")
+    print("  whom Bob trusts (declared trust lines):")
+    for trustee, currency, limit in profile.trusted_parties[:5]:
+        print(f"    {history.cast.label(trustee):30s} up to {limit:g} {currency}")
+
+    # How typical is this? The paper's headline: >99.8 % of payments are
+    # uniquely identifiable at full resolution.
+    ig = Deanonymizer(dataset).information_gain(FeatureList())
+    print(f"\nAcross the whole history, a full-resolution observation uniquely")
+    print(f"identifies {ig.percent:.2f}% of payments (paper: 99.83%).")
+
+
+if __name__ == "__main__":
+    main()

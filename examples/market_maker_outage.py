@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""What if the Market Makers vanished?  The Table II counterfactual.
+
+Generates a synthetic economy, snapshots it at the paper's Feb 2015 date,
+then replays every later payment twice: once on the intact network, once
+with all market makers banned from relaying and their offers removed.
+Also reports how concentrated offer placement is (the 50/75/87 % finding).
+
+Run:  python examples/market_maker_outage.py
+"""
+
+from repro.analysis import (
+    offer_concentration,
+    replay_without_market_makers,
+)
+from repro.analysis.report import render_table2
+from repro.synthetic import generate_history, small_config
+
+
+def main() -> None:
+    print("Generating the synthetic economy...")
+    history = generate_history(small_config(seed=31, n_payments=6_000))
+
+    concentration = offer_concentration(history.offer_records)
+    print(f"\nOffer placement concentration "
+          f"({concentration.total_offers} offers; paper: ~90M):")
+    for top_k, share in sorted(concentration.shares.items()):
+        paper = {10: 0.50, 50: 0.75, 100: 0.87}.get(top_k)
+        note = f" (paper: {paper:.0%})" if paper else ""
+        print(f"  top {top_k:3d} makers place {share:.1%} of offers{note}")
+
+    print("\nControl replay — makers intact:")
+    control = replay_without_market_makers(history, remove_market_makers=False)
+    print(render_table2(control))
+
+    print("\nCounterfactual replay — makers and their offers removed:")
+    outage = replay_without_market_makers(history, remove_market_makers=True)
+    print(render_table2(outage))
+
+    print("\nPaper's Table II: cross-currency 0%, single-currency 36.1%, "
+          "total 11.2%.")
+    lost = control.total.delivered - outage.total.delivered
+    print(f"Here: removing {len(history.cast.market_makers)} maker accounts "
+          f"kills {lost} of {control.total.delivered} deliverable payments "
+          f"({lost / max(1, control.total.delivered):.0%}).")
+    print("Market makers are not a convenience — they are the connective "
+          "tissue of the exchange.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip cannot build editable wheels.
+
+``pip install -e .`` requires the ``wheel`` package (absent offline); this
+shim lets ``python setup.py develop`` provide the same editable install.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro — a full reproduction of "Consensus Robustness and Transaction
+De-Anonymization in the Ripple Currency Exchange System" (ICDCS 2017).
+
+Subpackages
+-----------
+
+``repro.ledger``     distributed-ledger data model (accounts, amounts,
+                     trust lines, offers, transactions, pages, signatures)
+``repro.payments``   credit-network payment engine (path finding, order
+                     books, bridging, atomic execution)
+``repro.consensus``  the Ripple consensus protocol (RPCA) simulator
+``repro.stream``     the validation stream and the three collection periods
+``repro.synthetic``  the calibrated synthetic three-year Ripple economy
+``repro.analysis``   ledger analytics (Figs. 4-7, Table II)
+``repro.core``       the paper's contributions: transaction
+                     de-anonymization (Table I, Fig. 3) and consensus
+                     robustness (Fig. 2)
+
+Quickstart
+----------
+
+>>> from repro.synthetic import small_config, generate_history
+>>> from repro.analysis import TransactionDataset
+>>> from repro.core import Deanonymizer
+>>> history = generate_history(small_config())
+>>> dataset = TransactionDataset.from_records(history.records)
+>>> figure3 = Deanonymizer(dataset).figure3()
+"""
+
+from repro.errors import ReproError
+from repro.node import ClosedLedger, RippledNode, default_validators
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosedLedger",
+    "ReproError",
+    "RippledNode",
+    "default_validators",
+    "__version__",
+]

@@ -1,0 +1,123 @@
+"""Ledger analytics: the appendix studies and shared dataset machinery."""
+
+from repro.analysis.archive import dump_archive, iter_archive, load_archive
+from repro.analysis.export import (
+    export_figure2,
+    export_figure3,
+    export_figure4,
+    export_figure5,
+    export_figure6,
+    export_figure7,
+    export_table2,
+)
+from repro.analysis.population import (
+    PopulationStats,
+    growth_is_increasing,
+    monthly_volume,
+    population_stats,
+    top_senders,
+)
+from repro.analysis.currencies import (
+    CurrencyUsage,
+    currency_ranking,
+    rank_of,
+    share_of,
+    unrecognized_in_top,
+)
+from repro.analysis.dataset import TransactionDataset
+from repro.analysis.gateways import (
+    HubProfile,
+    balance_eur,
+    coverage_of_top,
+    gateway_count_in_top,
+    intermediary_counts,
+    top_intermediaries,
+    trust_profile_eur,
+)
+from repro.analysis.market_makers import (
+    OfferConcentration,
+    ReplayResult,
+    ReplayRow,
+    offer_concentration,
+    replay_without_market_makers,
+    table2,
+)
+from repro.analysis.paths import PathStructure, path_structure, spam_hop_attribution
+from repro.analysis.timeseries import (
+    Burst,
+    bucketize,
+    campaign_window,
+    concentration_in_time,
+    currency_series,
+    detect_bursts,
+)
+from repro.analysis.survival import (
+    DEFAULT_GRID,
+    FIGURE5_CURRENCIES,
+    SurvivalCurve,
+    curve_distance,
+    figure5_curves,
+    survival_curve,
+)
+from repro.analysis.validators import (
+    PeriodSummary,
+    classify,
+    figure2_rows,
+    summarize,
+)
+
+__all__ = [
+    "CurrencyUsage",
+    "PopulationStats",
+    "Burst",
+    "bucketize",
+    "campaign_window",
+    "concentration_in_time",
+    "currency_series",
+    "detect_bursts",
+    "export_figure2",
+    "export_figure3",
+    "export_figure4",
+    "export_figure5",
+    "export_figure6",
+    "export_figure7",
+    "export_table2",
+    "growth_is_increasing",
+    "monthly_volume",
+    "population_stats",
+    "top_senders",
+    "dump_archive",
+    "iter_archive",
+    "load_archive",
+    "DEFAULT_GRID",
+    "FIGURE5_CURRENCIES",
+    "HubProfile",
+    "OfferConcentration",
+    "PathStructure",
+    "PeriodSummary",
+    "ReplayResult",
+    "ReplayRow",
+    "SurvivalCurve",
+    "TransactionDataset",
+    "balance_eur",
+    "classify",
+    "coverage_of_top",
+    "currency_ranking",
+    "curve_distance",
+    "figure2_rows",
+    "figure5_curves",
+    "gateway_count_in_top",
+    "intermediary_counts",
+    "offer_concentration",
+    "path_structure",
+    "rank_of",
+    "replay_without_market_makers",
+    "share_of",
+    "spam_hop_attribution",
+    "summarize",
+    "survival_curve",
+    "table2",
+    "top_intermediaries",
+    "trust_profile_eur",
+    "unrecognized_in_top",
+]

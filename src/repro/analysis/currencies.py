@@ -1,0 +1,78 @@
+"""Most-used currencies (Fig. 4) and related currency statistics.
+
+The paper ranks currencies by payment count over the full history and
+highlights: XRP on top (49 %, ~10^7 payments), the unrecognized CCK and MTL
+in the top three (crafted spam currencies), BTC as the first well-known
+currency (4.7 %), then USD, CNY, JPY, with EUR only 11th at 0.4 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.dataset import TransactionDataset
+
+
+@dataclass(frozen=True)
+class CurrencyUsage:
+    """One bar of Fig. 4."""
+
+    code: str
+    payments: int
+    share: float
+    is_recognized: bool
+
+
+#: ISO-4217-recognized subset among the codes the study encounters; the
+#: paper calls out CCK and MTL as *not* in the standard.
+_RECOGNIZED = frozenset(
+    {
+        "USD", "EUR", "CNY", "JPY", "GBP", "AUD", "KRW", "CAD", "NZD", "MXN",
+        "BRL", "ILS", "XAU", "XAG", "XPT",
+    }
+)
+
+
+def currency_ranking(dataset: TransactionDataset) -> List[CurrencyUsage]:
+    """Payment count per currency, descending — the Fig. 4 x-axis order."""
+    counts = np.bincount(dataset.currency_ids, minlength=len(dataset.currencies))
+    total = int(counts.sum())
+    ranking = [
+        CurrencyUsage(
+            code=dataset.currencies[index],
+            payments=int(count),
+            share=count / total if total else 0.0,
+            is_recognized=dataset.currencies[index] in _RECOGNIZED
+            or dataset.currencies[index] == "XRP",
+        )
+        for index, count in enumerate(counts)
+        if count > 0
+    ]
+    ranking.sort(key=lambda usage: -usage.payments)
+    return ranking
+
+
+def share_of(dataset: TransactionDataset, code: str) -> float:
+    """Payment share of one currency."""
+    return float(dataset.rows_for_currency(code).mean())
+
+
+def rank_of(dataset: TransactionDataset, code: str) -> int:
+    """1-based rank of ``code`` in the usage ranking (0 when absent)."""
+    for position, usage in enumerate(currency_ranking(dataset), start=1):
+        if usage.code == code:
+            return position
+    return 0
+
+
+def unrecognized_in_top(dataset: TransactionDataset, top: int = 3) -> List[str]:
+    """Unrecognized currency codes appearing in the top ``top`` — the
+    paper's 'probably crafted for denial of service' finding."""
+    return [
+        usage.code
+        for usage in currency_ranking(dataset)[:top]
+        if not usage.is_recognized
+    ]

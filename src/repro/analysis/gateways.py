@@ -1,0 +1,140 @@
+"""Gateways vs. common users: the top-intermediary study (Fig. 7).
+
+The appendix finds that just 50 accounts relay ~86 % of the 10M multi-hop
+payments; the two most central (``rp2PaY...``, ``r42Ccn...``) are *not*
+gateways and relay an order of magnitude more than anyone else; only ~20
+of the top 50 are publicly announced gateways.  Trust and balance profiles
+separate the classes: gateways concentrate incoming trust and carry
+negative balances (they owe their depositors); common users hold positive
+balances and must trust at least one gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ledger.accounts import AccountID
+from repro.ledger.currency import Currency, eur_value
+from repro.ledger.state import LedgerState
+from repro.synthetic.generator import SyntheticHistory
+from repro.synthetic.records import TransactionRecord
+
+
+@dataclass(frozen=True)
+class HubProfile:
+    """One x-position of Fig. 7: a top intermediary and its profile."""
+
+    account: AccountID
+    label: str
+    is_gateway: bool
+    times_intermediate: int
+    incoming_trust_eur: float
+    outgoing_trust_eur: float
+    balance_eur: float
+
+
+#: Spam kinds excluded from the hub ranking: the MTL relay chains are
+#: single-purpose attack accounts, not part of the payment fabric the
+#: paper's Fig. 7 profiles.
+SPAM_KINDS = frozenset({"mtl_spam", "long_spam"})
+
+
+def intermediary_counts(
+    records: Sequence[TransactionRecord],
+    exclude_spam: bool = True,
+) -> Dict[AccountID, int]:
+    """How many multi-hop payments each account relayed (Fig. 7(a))."""
+    counts: Dict[AccountID, int] = {}
+    for record in records:
+        if not record.is_multi_hop:
+            continue
+        if exclude_spam and record.kind in SPAM_KINDS:
+            continue
+        for account in record.intermediaries:
+            counts[account] = counts.get(account, 0) + 1
+    return counts
+
+
+def trust_profile_eur(state: LedgerState, account: AccountID) -> Tuple[float, float]:
+    """(incoming, outgoing) trust of ``account``, EUR-aggregated.
+
+    Incoming trust is what others extend *to* the account (positive in
+    Fig. 7(b)); outgoing is what the account extends to others (negative).
+    """
+    incoming = sum(
+        line.limit.to_float() * eur_value(line.currency)
+        for line in state.lines_trusting(account)
+    )
+    outgoing = sum(
+        line.limit.to_float() * eur_value(line.currency)
+        for line in state.lines_trusted_by(account)
+    )
+    return float(incoming), float(outgoing)
+
+
+def balance_eur(state: LedgerState, account: AccountID) -> float:
+    """Net credit − debt of ``account`` across currencies, in EUR.
+
+    Matches Fig. 7(c): credit the account holds on others minus the debt
+    it owes, plus its XRP.
+    """
+    total = state.xrp_balance(account) / 10 ** 6 * eur_value(Currency("XRP"))
+    for line in state.lines_trusted_by(account):
+        total += line.balance.to_float() * eur_value(line.currency)
+    for line in state.lines_trusting(account):
+        total -= line.balance.to_float() * eur_value(line.currency)
+    return float(total)
+
+
+def top_intermediaries(
+    history: SyntheticHistory, top_k: int = 50
+) -> List[HubProfile]:
+    """The Fig. 7 table: top-k relays with trust and balance profiles."""
+    counts = intermediary_counts(history.records)
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:top_k]
+    profiles: List[HubProfile] = []
+    for account, times in ranked:
+        incoming, outgoing = trust_profile_eur(history.state, account)
+        profiles.append(
+            HubProfile(
+                account=account,
+                label=history.cast.label(account),
+                is_gateway=history.cast.is_gateway(account),
+                times_intermediate=times,
+                incoming_trust_eur=incoming,
+                outgoing_trust_eur=outgoing,
+                balance_eur=balance_eur(history.state, account),
+            )
+        )
+    return profiles
+
+
+def coverage_of_top(history: SyntheticHistory, top_k: int = 50) -> float:
+    """Fraction of multi-hop payments relayed by at least one of the top-k
+    intermediaries (the paper's '50 peers contributed in about 86 %')."""
+    counts = intermediary_counts(history.records)
+    top = {
+        account
+        for account, _ in sorted(counts.items(), key=lambda kv: -kv[1])[:top_k]
+    }
+    multi = [
+        record
+        for record in history.records
+        if record.is_multi_hop and record.kind not in SPAM_KINDS
+    ]
+    if not multi:
+        return 0.0
+    covered = sum(
+        1
+        for record in multi
+        if any(account in top for account in record.intermediaries)
+    )
+    return covered / len(multi)
+
+
+def gateway_count_in_top(history: SyntheticHistory, top_k: int = 50) -> int:
+    """How many of the top-k intermediaries are gateways (paper: ~20/50)."""
+    return sum(1 for profile in top_intermediaries(history, top_k) if profile.is_gateway)

@@ -1,0 +1,84 @@
+"""Validator-activity aggregation helpers for the Fig. 2 rendering.
+
+:mod:`repro.core.robustness` produces per-validator observations; this
+module classifies and formats them the way the paper's figures and prose
+do (active / struggling / zero-valid, per-period summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.robustness import PeriodReport, ValidatorObservation
+
+
+@dataclass(frozen=True)
+class PeriodSummary:
+    """The headline numbers the paper reports for one period."""
+
+    key: str
+    label: str
+    observed_non_ripple: int
+    active_non_ripple: int
+    zero_valid: int
+    availability: float
+
+
+def classify(
+    report: PeriodReport, active_threshold: float = 0.5, struggle_threshold: float = 0.15
+) -> Dict[str, List[str]]:
+    """Partition observed validators into the paper's behavioural classes.
+
+    * ``active``   — valid pages comparable to R1–R5;
+    * ``struggling`` — some valid pages, but a very small fraction;
+    * ``zero_valid`` — signed pages, none on the main ledger;
+    * ``absent``   — (almost) never seen.
+    """
+    active = set(report.active_validators(active_threshold))
+    classes: Dict[str, List[str]] = {
+        "active": [],
+        "struggling": [],
+        "zero_valid": [],
+        "absent": [],
+    }
+    labs_median = sorted(
+        obs.valid_pages for obs in report.observations if obs.is_ripple_labs
+    )
+    reference = labs_median[len(labs_median) // 2] if labs_median else 0
+    for obs in report.observations:
+        if obs.total_pages < max(1, reference * 0.01):
+            classes["absent"].append(obs.name)
+        elif obs.name in active:
+            classes["active"].append(obs.name)
+        elif obs.valid_pages == 0:
+            classes["zero_valid"].append(obs.name)
+        else:
+            classes["struggling"].append(obs.name)
+    return classes
+
+
+def summarize(report: PeriodReport) -> PeriodSummary:
+    classes = classify(report)
+    non_ripple_active = [
+        name
+        for name in classes["active"]
+        if not report.observation(name).is_ripple_labs
+    ]
+    return PeriodSummary(
+        key=report.period.key,
+        label=report.period.label,
+        observed_non_ripple=report.period.observed_count(),
+        active_non_ripple=len(non_ripple_active),
+        zero_valid=len(classes["zero_valid"]),
+        availability=report.availability,
+    )
+
+
+def figure2_rows(report: PeriodReport) -> List[Tuple[str, int, int]]:
+    """(label, total pages, valid pages) rows in the Fig. 2 x-axis order:
+    R1–R5 first, then the rest alphabetically."""
+    ordered = sorted(
+        report.observations, key=lambda obs: (not obs.is_ripple_labs, obs.name)
+    )
+    return [(obs.name, obs.total_pages, obs.valid_pages) for obs in ordered]

@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate any paper artifact from a terminal.
+
+::
+
+    python -m repro figures            # list the artifacts
+    python -m repro fig3               # information gain (Fig. 3)
+    python -m repro fig2 --period jul2016 --scale 600
+    python -m repro table2
+    python -m repro generate --out ledger.jsonl.gz --payments 20000
+    python -m repro attack --seed 3    # run one latte attack
+
+Every command works on a freshly generated synthetic history (cached per
+process) or, where it makes sense, on a previously dumped archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    TransactionDataset,
+    currency_ranking,
+    figure5_curves,
+    offer_concentration,
+    path_structure,
+    table2,
+    top_intermediaries,
+)
+from repro.analysis.archive import dump_archive, load_archive
+from repro.analysis.report import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table2,
+)
+from repro.core.deanonymizer import Deanonymizer
+from repro.core.robustness import run_period
+from repro.stream.periods import PERIODS, period
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import generate_history
+
+ARTIFACTS = {
+    "fig2": "validator activity over the three collection periods",
+    "fig3": "information gain per feature list",
+    "fig4": "most used currencies",
+    "fig5": "survival functions of payment amounts",
+    "fig6": "payment path structure",
+    "fig7": "top-50 intermediaries",
+    "table2": "delivery without market makers",
+}
+
+
+def _config(args: argparse.Namespace) -> EconomyConfig:
+    return EconomyConfig(
+        seed=args.seed,
+        n_payments=args.payments,
+        n_users=max(10, args.payments // 33),
+        n_offers=args.payments * 4,
+    )
+
+
+def _dataset_for(args: argparse.Namespace):
+    if getattr(args, "archive", None):
+        records = load_archive(args.archive)
+        return None, TransactionDataset.from_records(records)
+    history = generate_history(_config(args))
+    return history, TransactionDataset.from_records(history.records)
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    for key, description in ARTIFACTS.items():
+        print(f"  {key:7s} {description}")
+    return 0
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    keys = [args.period] if args.period else [spec.key for spec in PERIODS]
+    for key in keys:
+        report = run_period(period(key), scale=1.0 / args.scale, seed=args.seed)
+        print(render_figure2(report))
+        print()
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    _, dataset = _dataset_for(args)
+    print(render_figure3(Deanonymizer(dataset).figure3()))
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    _, dataset = _dataset_for(args)
+    print(render_figure4(currency_ranking(dataset), top=args.top))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    _, dataset = _dataset_for(args)
+    points = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10)
+    print(render_figure5(figure5_curves(dataset), points))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    _, dataset = _dataset_for(args)
+    print(render_figure6(path_structure(dataset)))
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    history, _ = _dataset_for(args)
+    if history is None:
+        print("fig7 needs ledger state; run without --archive", file=sys.stderr)
+        return 2
+    print(render_figure7(top_intermediaries(history, args.top)))
+    concentration = offer_concentration(history.offer_records)
+    print(f"\noffer concentration: "
+          f"{dict((k, round(v, 3)) for k, v in concentration.shares.items())}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    history, _ = _dataset_for(args)
+    if history is None:
+        print("table2 needs ledger state; run without --archive", file=sys.stderr)
+        return 2
+    print(render_table2(table2(history)))
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    history = generate_history(_config(args))
+    written = dump_archive(history.records, args.out)
+    print(f"wrote {written} payments to {args.out}")
+    return 0
+
+
+def cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.core.defenses import standard_defense_suite
+    from repro.core.resolution import FIGURE3_FEATURE_LISTS
+
+    _, dataset = _dataset_for(args)
+    label = FIGURE3_FEATURE_LISTS[0].label()
+    print("De-anonymization countermeasures (IG at full resolution):")
+    for report in standard_defense_suite(dataset):
+        print(f"  {report.name:22s} {report.ig_before[label]:6.2f}% -> "
+              f"{report.ig_after[label]:6.2f}%")
+        for cost, value in report.costs.items():
+            print(f"      {cost}: {value:,.2f}")
+    return 0
+
+
+def cmd_rewards(args: argparse.Namespace) -> int:
+    from repro.consensus.rewards import compare_policies
+
+    print("Validator reward proposal (Section IV): tax sweep")
+    for tax, validators, exposure in compare_policies(
+        [0.0, 0.01, 0.05, 0.2], seed=args.seed, epochs=40
+    ):
+        print(f"  tax {tax:5.2f}/tx -> equilibrium validators {validators:4d}, "
+              f"top-3 signature share {exposure:.1%}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.attack import Observation, SideChannelAttack
+
+    history, dataset = _dataset_for(args)
+    attack = SideChannelAttack(dataset, history.state if history else None)
+    rng = np.random.default_rng(args.seed)
+    rows = np.flatnonzero(dataset.kinds == "fiat")
+    row = int(rng.choice(rows))
+    observation = Observation(
+        destination=dataset.accounts[int(dataset.destination_ids[row])],
+        currency=dataset.currency_code(int(dataset.currency_ids[row])),
+        amount=float(dataset.amounts[row]),
+        timestamp=int(dataset.timestamps[row]),
+    )
+    result = attack.run(observation)
+    print(f"observed: {observation.amount:g} {observation.currency} "
+          f"-> {observation.destination.short()} @ t={observation.timestamp}")
+    if not result.succeeded:
+        print(f"ambiguous: {len(result.candidates)} candidate senders")
+        return 1
+    print(f"identified sender: {result.sender.address}")
+    if result.profile is not None:
+        profile = result.profile
+        print(f"  payments sent/received: {profile.payments_sent}/"
+              f"{profile.payments_received}")
+        print(f"  total spent (EUR): {profile.total_spent_eur:,.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the ICDCS'17 Ripple study's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, archive: bool = True) -> None:
+        sub.add_argument("--seed", type=int, default=20170652)
+        sub.add_argument("--payments", type=int, default=12_000,
+                         help="synthetic history size (default 12000)")
+        if archive:
+            sub.add_argument("--archive", type=str, default=None,
+                             help="read payments from a dumped archive instead")
+
+    sub = subparsers.add_parser("figures", help="list reproducible artifacts")
+    sub.set_defaults(func=cmd_figures)
+
+    sub = subparsers.add_parser("fig2", help=ARTIFACTS["fig2"])
+    sub.add_argument("--period", choices=[s.key for s in PERIODS], default=None)
+    sub.add_argument("--scale", type=int, default=600,
+                     help="simulate 1/SCALE of the two-week period")
+    sub.add_argument("--seed", type=int, default=20170652)
+    sub.set_defaults(func=cmd_fig2)
+
+    for key, fn in (("fig3", cmd_fig3), ("fig5", cmd_fig5), ("fig6", cmd_fig6)):
+        sub = subparsers.add_parser(key, help=ARTIFACTS[key])
+        add_common(sub)
+        sub.set_defaults(func=fn)
+
+    sub = subparsers.add_parser("fig4", help=ARTIFACTS["fig4"])
+    add_common(sub)
+    sub.add_argument("--top", type=int, default=25)
+    sub.set_defaults(func=cmd_fig4)
+
+    sub = subparsers.add_parser("fig7", help=ARTIFACTS["fig7"])
+    add_common(sub, archive=False)
+    sub.add_argument("--top", type=int, default=50)
+    sub.set_defaults(func=cmd_fig7)
+
+    sub = subparsers.add_parser("table2", help=ARTIFACTS["table2"])
+    add_common(sub, archive=False)
+    sub.set_defaults(func=cmd_table2)
+
+    sub = subparsers.add_parser("generate", help="dump a synthetic ledger archive")
+    add_common(sub, archive=False)
+    sub.add_argument("--out", type=str, required=True)
+    sub.set_defaults(func=cmd_generate)
+
+    sub = subparsers.add_parser("attack", help="run one latte attack")
+    add_common(sub)
+    sub.set_defaults(func=cmd_attack)
+
+    sub = subparsers.add_parser(
+        "defenses", help="evaluate de-anonymization countermeasures"
+    )
+    add_common(sub)
+    sub.set_defaults(func=cmd_defenses)
+
+    sub = subparsers.add_parser(
+        "rewards", help="simulate the Section IV validator-reward proposal"
+    )
+    sub.add_argument("--seed", type=int, default=20170652)
+    sub.set_defaults(func=cmd_rewards)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The RPCA consensus substrate.
+
+Validators with behaviour profiles, UNLs, deliberation rounds with
+escalating thresholds, the 80 % validation quorum, a message-delivery
+model, and the engine that runs whole collection periods for Fig. 2.
+"""
+
+from repro.consensus.engine import (
+    CLOSE_INTERVAL_SECONDS,
+    ConsensusEngine,
+    ConsensusReport,
+    ValidatorStats,
+    default_tx_supplier,
+)
+from repro.consensus.faults import (
+    Behaviour,
+    ValidatorProfile,
+    active,
+    byzantine,
+    forked,
+    lagging,
+    offline,
+    windowed,
+)
+from repro.consensus.network import NetworkModel
+from repro.consensus.proposals import Proposal, Validation
+from repro.consensus.rewards import (
+    IncentiveSimulation,
+    Operator,
+    RewardPolicy,
+    compare_policies,
+)
+from repro.consensus.rounds import (
+    DEFAULT_QUORUM,
+    DEFAULT_THRESHOLDS,
+    RoundOutcome,
+    page_hash_for,
+    run_round,
+)
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator, validator_key_id
+
+__all__ = [
+    "Behaviour",
+    "IncentiveSimulation",
+    "Operator",
+    "RewardPolicy",
+    "compare_policies",
+    "CLOSE_INTERVAL_SECONDS",
+    "ConsensusEngine",
+    "ConsensusReport",
+    "DEFAULT_QUORUM",
+    "DEFAULT_THRESHOLDS",
+    "NetworkModel",
+    "Proposal",
+    "RoundOutcome",
+    "UNL",
+    "Validation",
+    "Validator",
+    "ValidatorProfile",
+    "ValidatorStats",
+    "active",
+    "byzantine",
+    "default_tx_supplier",
+    "forked",
+    "lagging",
+    "offline",
+    "page_hash_for",
+    "run_round",
+    "validator_key_id",
+    "windowed",
+]

@@ -1,0 +1,184 @@
+"""The consensus engine: drive rounds, track chains, account validators.
+
+``ConsensusEngine`` owns everything :func:`repro.consensus.rounds.run_round`
+does not: the evolving head hash of each ledger instance (main net plus any
+forks), the supply of pending transactions, validation observers (the
+validation *stream* of Section IV subscribes here), and the per-validator
+accounting that Fig. 2 plots — pages signed vs. pages that ended up in the
+main ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.consensus.network import NetworkModel
+from repro.consensus.proposals import Validation
+from repro.consensus.rounds import (
+    DEFAULT_QUORUM,
+    DEFAULT_THRESHOLDS,
+    RoundOutcome,
+    run_round,
+)
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.errors import ConsensusError
+
+#: Seconds between ledger closes (the paper: payments settle in 5–10 s).
+CLOSE_INTERVAL_SECONDS = 5
+
+TxSupplier = Callable[[int, np.random.Generator], FrozenSet[bytes]]
+ValidationObserver = Callable[[Validation], None]
+
+
+def default_tx_supplier(round_index: int, rng: np.random.Generator) -> FrozenSet[bytes]:
+    """A small random batch of pending transaction hashes per round."""
+    count = int(rng.integers(4, 12))
+    return frozenset(
+        rng.integers(0, 256, size=32, dtype=np.uint8).tobytes() for _ in range(count)
+    )
+
+
+@dataclass
+class ValidatorStats:
+    """Fig. 2's per-validator bar pair."""
+
+    name: str
+    is_ripple_labs: bool = False
+    total_pages: int = 0
+    valid_pages: int = 0
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.valid_pages / self.total_pages if self.total_pages else 0.0
+
+
+@dataclass
+class ConsensusReport:
+    """Aggregate outcome of an engine run."""
+
+    rounds_run: int = 0
+    rounds_validated: int = 0
+    stats: Dict[str, ValidatorStats] = field(default_factory=dict)
+    main_chain_hashes: List[bytes] = field(default_factory=list)
+    outcomes: List[RoundOutcome] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of rounds that produced a fully validated page."""
+        return self.rounds_validated / self.rounds_run if self.rounds_run else 0.0
+
+    def sorted_stats(self) -> List[ValidatorStats]:
+        """Ripple Labs validators first, then alphabetical — the Fig. 2 x-axis."""
+        return sorted(
+            self.stats.values(), key=lambda s: (not s.is_ripple_labs, s.name)
+        )
+
+
+class ConsensusEngine:
+    """Runs RPCA rounds over a fixed validator roster."""
+
+    def __init__(
+        self,
+        validators: Sequence[Validator],
+        master_unl: Optional[UNL] = None,
+        network: Optional[NetworkModel] = None,
+        quorum: float = DEFAULT_QUORUM,
+        thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+        seed: int = 0,
+        sign_pages: bool = False,
+        keep_outcomes: bool = False,
+    ):
+        if not validators:
+            raise ConsensusError("need at least one validator")
+        names = [v.name for v in validators]
+        if len(set(names)) != len(names):
+            raise ConsensusError("validator names must be unique")
+        self.validators = list(validators)
+        if master_unl is None:
+            master_unl = UNL.of(
+                v.name for v in validators if v.network_id == 0
+            )
+        self.master_unl = master_unl
+        self.network = network or NetworkModel()
+        self.quorum = quorum
+        self.thresholds = tuple(thresholds)
+        self.rng = np.random.default_rng(seed)
+        self.sign_pages = sign_pages
+        self.keep_outcomes = keep_outcomes
+        self.observers: List[ValidationObserver] = []
+        #: Current head hash per ledger instance (network id).
+        self.heads: Dict[int, bytes] = {0: b"\x00" * 32}
+        self.sequence = 1
+        self.close_time = 0
+
+    def subscribe(self, observer: ValidationObserver) -> None:
+        """Register a validation-stream observer (e.g. the collector)."""
+        self.observers.append(observer)
+
+    def run(
+        self,
+        num_rounds: int,
+        tx_supplier: TxSupplier = default_tx_supplier,
+    ) -> ConsensusReport:
+        """Run ``num_rounds`` consensus rounds and return the report."""
+        report = ConsensusReport()
+        for validator in self.validators:
+            report.stats[validator.name] = ValidatorStats(
+                name=validator.name, is_ripple_labs=validator.is_ripple_labs
+            )
+
+        for round_index in range(num_rounds):
+            tx_pool = tx_supplier(round_index, self.rng)
+            outcome = run_round(
+                round_index=round_index,
+                sequence=self.sequence,
+                parent_hashes=self.heads,
+                close_time=self.close_time,
+                tx_pool=tx_pool,
+                validators=self.validators,
+                master_unl=self.master_unl,
+                network=self.network,
+                rng=self.rng,
+                thresholds=self.thresholds,
+                quorum=self.quorum,
+                sign_pages=self.sign_pages,
+            )
+            self._advance(outcome)
+            self._account(report, outcome)
+            if self.keep_outcomes:
+                report.outcomes.append(outcome)
+            report.rounds_run += 1
+            if outcome.validated:
+                report.rounds_validated += 1
+                report.main_chain_hashes.append(outcome.validated_hash)
+            for validation in outcome.validations:
+                for observer in self.observers:
+                    observer(validation)
+        return report
+
+    # Internals ---------------------------------------------------------------
+
+    def _advance(self, outcome: RoundOutcome) -> None:
+        """Move chain heads forward after a round."""
+        if outcome.validated:
+            self.heads[0] = outcome.validated_hash
+        # Forked instances always advance on their own page: find one
+        # validation per non-main network and adopt its hash as head.
+        seen_networks = set()
+        for validation in outcome.validations:
+            if validation.network_id != 0 and validation.network_id not in seen_networks:
+                self.heads[validation.network_id] = validation.page_hash
+                seen_networks.add(validation.network_id)
+        self.sequence += 1
+        self.close_time += CLOSE_INTERVAL_SECONDS
+
+    def _account(self, report: ConsensusReport, outcome: RoundOutcome) -> None:
+        for validation in outcome.validations:
+            stats = report.stats[validation.validator]
+            stats.total_pages += 1
+            if outcome.validated and validation.page_hash == outcome.validated_hash:
+                stats.valid_pages += 1

@@ -1,0 +1,106 @@
+"""Validator behaviour profiles and fault injection.
+
+The paper's Fig. 2 shows four qualitatively different validator behaviours,
+all of which we model as a *profile* attached to each simulated validator:
+
+* **active** — online, in sync; nearly every signed page validates.
+* **lagging** — limited hardware/network: often misses proposal exchange,
+  signs stale or divergent pages; "a very small fraction of valid pages".
+* **forked** — follows a different ledger instance (a private ledger or the
+  ``testnet.ripple.com`` servers): signs hundreds of thousands of pages,
+  none of which appear in the main ledger.
+* **offline** — registered but (mostly) absent.
+
+A profile can also carry a *presence window* so the validator appears or
+disappears during a collection period (the churn Section IV observes), and
+a ``byzantine`` flag for validators that propose conflicting sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class Behaviour(enum.Enum):
+    ACTIVE = "active"
+    LAGGING = "lagging"
+    FORKED = "forked"
+    OFFLINE = "offline"
+    BYZANTINE = "byzantine"
+
+
+@dataclass(frozen=True)
+class ValidatorProfile:
+    """Statistical behaviour of one validator in the round simulation.
+
+    ``availability``  — probability of participating in a given round.
+    ``sync_quality``  — probability that a signed page matches the
+                        consensus page (1.0 for a healthy validator).
+    ``network_id``    — which ledger instance the validator follows
+                        (0 = main net; anything else is a fork/test-net).
+    ``presence``      — optional (start, end) round window; outside it the
+                        validator emits nothing.
+    """
+
+    behaviour: Behaviour
+    availability: float = 1.0
+    sync_quality: float = 1.0
+    network_id: int = 0
+    presence: Optional[Tuple[int, int]] = None
+
+    def present_at(self, round_index: int) -> bool:
+        if self.presence is None:
+            return True
+        start, end = self.presence
+        return start <= round_index < end
+
+
+def active(availability: float = 0.97) -> ValidatorProfile:
+    """A healthy, contributing validator (R1–R5 and peers)."""
+    return ValidatorProfile(
+        Behaviour.ACTIVE, availability=availability, sync_quality=0.995
+    )
+
+
+def lagging(availability: float = 0.5, sync_quality: float = 0.06) -> ValidatorProfile:
+    """Under-provisioned: present at times, rarely in sync."""
+    return ValidatorProfile(
+        Behaviour.LAGGING, availability=availability, sync_quality=sync_quality
+    )
+
+
+def forked(network_id: int, availability: float = 0.95) -> ValidatorProfile:
+    """Follows a parallel ledger instance (private net or test-net)."""
+    return ValidatorProfile(
+        Behaviour.FORKED,
+        availability=availability,
+        sync_quality=1.0,
+        network_id=network_id,
+    )
+
+
+def offline(availability: float = 0.02) -> ValidatorProfile:
+    """Registered but essentially absent."""
+    return ValidatorProfile(
+        Behaviour.OFFLINE, availability=availability, sync_quality=0.5
+    )
+
+
+def byzantine(availability: float = 0.97) -> ValidatorProfile:
+    """Proposes conflicting transaction sets to different peers."""
+    return ValidatorProfile(
+        Behaviour.BYZANTINE, availability=availability, sync_quality=1.0
+    )
+
+
+def windowed(profile: ValidatorProfile, start: int, end: int) -> ValidatorProfile:
+    """Restrict ``profile`` to the round window [start, end)."""
+    return ValidatorProfile(
+        behaviour=profile.behaviour,
+        availability=profile.availability,
+        sync_quality=profile.sync_quality,
+        network_id=profile.network_id,
+        presence=(start, end),
+    )

@@ -1,0 +1,74 @@
+"""Consensus messages: proposals and validations.
+
+RPCA runs in two phases per ledger close.  During *deliberation*, validators
+exchange **proposals** — their current candidate transaction sets — over
+several iterations with an escalating agreement threshold.  Once a validator
+believes consensus is reached, it closes the ledger locally and broadcasts a
+**validation**: a signed statement "page X is the ledger at sequence N".
+The paper's measurement apparatus (Section IV) listens to exactly these
+validation messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.ledger import crypto
+from repro.ledger.hashing import PREFIX_PROPOSAL, PREFIX_VALIDATION, hash_with_prefix
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A validator's position in one deliberation iteration."""
+
+    validator: str
+    ledger_sequence: int
+    iteration: int
+    tx_set: FrozenSet[bytes]
+
+    def position_id(self) -> bytes:
+        """Hash identifying the proposed transaction set."""
+        return hash_with_prefix(PREFIX_PROPOSAL, b"".join(sorted(self.tx_set)))
+
+
+@dataclass(frozen=True)
+class Validation:
+    """A signed assertion that ``page_hash`` closes ledger ``sequence``.
+
+    ``network_id`` tags which ledger instance the signer was actually
+    following (main net = 0; the test-net of the paper's Fig. 2 runs its own
+    instance) — observers do *not* see this field; they discover it only by
+    comparing page hashes against the main chain, as the paper did.
+    """
+
+    validator: str
+    sequence: int
+    page_hash: bytes
+    sign_time: int
+    network_id: int = 0
+    signature: Optional[crypto.Signature] = None
+
+    def signing_payload(self) -> bytes:
+        return hash_with_prefix(
+            PREFIX_VALIDATION,
+            self.validator.encode()
+            + self.sequence.to_bytes(8, "big")
+            + self.page_hash
+            + self.sign_time.to_bytes(8, "big"),
+        )
+
+    def with_signature(self, keypair: crypto.KeyPair) -> "Validation":
+        return Validation(
+            validator=self.validator,
+            sequence=self.sequence,
+            page_hash=self.page_hash,
+            sign_time=self.sign_time,
+            network_id=self.network_id,
+            signature=keypair.sign(self.signing_payload()),
+        )
+
+    def verify(self, public_key: int) -> bool:
+        if self.signature is None:
+            return False
+        return crypto.verify(public_key, self.signing_payload(), self.signature)

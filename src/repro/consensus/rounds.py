@@ -1,0 +1,208 @@
+"""One RPCA round: deliberation, close, validation.
+
+The round engine follows the protocol of the Ripple consensus white paper
+([6] in the paper):
+
+1. every participating validator enters with a *candidate set* of pending
+   transactions it has seen;
+2. validators exchange proposals over several iterations; at each iteration
+   a validator keeps only transactions supported by at least an escalating
+   threshold (50 %, 55 %, 60 %, 65 %) of the proposals delivered from its
+   UNL;
+3. each validator closes the resulting set into a ledger page and signs a
+   validation for the page hash;
+4. the page becomes *fully validated* when at least 80 % of the master UNL
+   signed the same hash — these are the "valid pages" of Fig. 2.
+
+Forked validators (private ledgers, the test-net) run their own instance:
+they sign pages of their own chain every round; those hashes never match
+the main ledger, reproducing the zero-valid-page bars of Fig. 2.  Lagging
+validators frequently sign stale pages that likewise do not match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.consensus.faults import Behaviour
+from repro.consensus.network import NetworkModel
+from repro.consensus.proposals import Validation
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.ledger.hashing import ledger_page_hash, tx_set_hash
+
+#: Escalating agreement thresholds of the deliberation phase.
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (0.50, 0.55, 0.60, 0.65)
+#: Fraction of the master UNL that must sign a page for full validation.
+DEFAULT_QUORUM = 0.80
+
+
+def page_hash_for(sequence: int, parent_hash: bytes, close_time: int, tx_set: FrozenSet[bytes]) -> bytes:
+    """Hash of the page a validator closes for ``tx_set``."""
+    header = b"|".join(
+        [
+            sequence.to_bytes(8, "big"),
+            parent_hash,
+            close_time.to_bytes(8, "big"),
+            tx_set_hash(sorted(tx_set)),
+        ]
+    )
+    return ledger_page_hash(header)
+
+
+@dataclass
+class RoundOutcome:
+    """Everything observable about one consensus round."""
+
+    round_index: int
+    sequence: int
+    close_time: int
+    validations: List[Validation] = field(default_factory=list)
+    validated_hash: Optional[bytes] = None
+    validated_tx_set: FrozenSet[bytes] = frozenset()
+    agreement: float = 0.0
+    participants: List[str] = field(default_factory=list)
+
+    @property
+    def validated(self) -> bool:
+        return self.validated_hash is not None
+
+
+def run_round(
+    round_index: int,
+    sequence: int,
+    parent_hashes: Dict[int, bytes],
+    close_time: int,
+    tx_pool: FrozenSet[bytes],
+    validators: Sequence[Validator],
+    master_unl: UNL,
+    network: NetworkModel,
+    rng: np.random.Generator,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    quorum: float = DEFAULT_QUORUM,
+    sign_pages: bool = False,
+) -> RoundOutcome:
+    """Run one full consensus round and return its outcome.
+
+    ``parent_hashes`` maps network id -> hash of that instance's current
+    head; the function mutates nothing — the engine owns chain state.
+    """
+    outcome = RoundOutcome(
+        round_index=round_index, sequence=sequence, close_time=close_time
+    )
+    participants = [v for v in validators if v.participates(round_index, rng)]
+    outcome.participants = [v.name for v in participants]
+    if not participants:
+        return outcome
+
+    main = [v for v in participants if v.network_id == 0]
+    index_of = {v.name: i for i, v in enumerate(main)}
+
+    # --- Deliberation on the main net ------------------------------------
+    positions: Dict[str, Set[bytes]] = {}
+    for validator in main:
+        if validator.behaviour is Behaviour.BYZANTINE:
+            positions[validator.name] = validator.byzantine_position(tx_pool, rng)
+        else:
+            positions[validator.name] = validator.initial_position(tx_pool, rng)
+
+    if main:
+        delivered = network.delivery_array(main, rng)
+        for threshold in thresholds:
+            next_positions: Dict[str, Set[bytes]] = {}
+            for j, listener in enumerate(main):
+                heard = {
+                    speaker.name: positions[speaker.name]
+                    for i, speaker in enumerate(main)
+                    if delivered[i, j]
+                }
+                next_positions[listener.name] = listener.update_position(
+                    positions[listener.name], heard, threshold
+                )
+            positions = next_positions
+            # Byzantine validators keep injecting disagreement.
+            for validator in main:
+                if validator.behaviour is Behaviour.BYZANTINE:
+                    positions[validator.name] = validator.byzantine_position(
+                        tx_pool, rng
+                    )
+
+    # --- Close and validate -----------------------------------------------
+    # A healthy validator only declares consensus when it actually heard
+    # proposals from a quorum of its UNL (rippled's minimum consensus
+    # percentage) — this is what halts a partitioned network.  Lagging,
+    # offline, and byzantine validators sign anyway: desynchronized and
+    # misbehaving servers emitting validations for pages nobody else has
+    # are exactly the zero-valid bars of Fig. 2.
+    heard_of: Dict[str, int] = {}
+    if main:
+        for j, listener in enumerate(main):
+            heard = sum(
+                1
+                for i, speaker in enumerate(main)
+                if delivered[i, j] and speaker.name in listener.unl
+            )
+            if listener.name in listener.unl:
+                heard += 1  # a validator always hears itself
+            heard_of[listener.name] = heard
+
+    parent_main = parent_hashes.get(0, b"\x00" * 32)
+    page_of: Dict[str, bytes] = {}
+    tx_set_of: Dict[str, FrozenSet[bytes]] = {}
+    for validator in main:
+        requires_quorum = validator.behaviour is Behaviour.ACTIVE
+        if requires_quorum and heard_of[validator.name] < quorum * len(validator.unl):
+            continue
+        final_set = frozenset(positions[validator.name])
+        in_sync = rng.random() < validator.profile.sync_quality
+        if in_sync:
+            page = page_hash_for(sequence, parent_main, close_time, final_set)
+        else:
+            # A stale close: the validator is still working on an older
+            # parent, so its page hash diverges from everyone else's.
+            stale_parent = ledger_page_hash(
+                b"stale|" + validator.name.encode() + sequence.to_bytes(8, "big")
+            )
+            page = page_hash_for(sequence, stale_parent, close_time, final_set)
+        page_of[validator.name] = page
+        tx_set_of[validator.name] = final_set
+        outcome.validations.append(
+            validator.make_validation(sequence, page, close_time, sign=sign_pages)
+        )
+
+    # Forked instances close their own page per round; everyone on the same
+    # fork signs the same (non-main) hash.
+    forks = [v for v in participants if v.network_id != 0]
+    fork_pages: Dict[int, bytes] = {}
+    for validator in forks:
+        net = validator.network_id
+        if net not in fork_pages:
+            parent = parent_hashes.get(net, b"\x00" * 32)
+            fork_pages[net] = page_hash_for(
+                sequence, parent, close_time, frozenset({b"fork%d" % net})
+            )
+        outcome.validations.append(
+            validator.make_validation(
+                sequence, fork_pages[net], close_time, sign=sign_pages
+            )
+        )
+
+    # --- Full validation check against the master UNL ----------------------
+    votes: Dict[bytes, int] = {}
+    for validation in outcome.validations:
+        if validation.validator in master_unl:
+            votes[validation.page_hash] = votes.get(validation.page_hash, 0) + 1
+    if votes:
+        best_hash, best_count = max(votes.items(), key=lambda kv: kv[1])
+        outcome.agreement = best_count / len(master_unl)
+        if best_count >= master_unl.quorum_size(quorum):
+            outcome.validated_hash = best_hash
+            # Recover the agreed tx set from any in-sync signer of the page.
+            for name, page in page_of.items():
+                if page == best_hash:
+                    outcome.validated_tx_set = tx_set_of[name]
+                    break
+    return outcome

@@ -1,0 +1,58 @@
+"""Unique Node Lists (UNLs) — who trusts whose validations.
+
+Every Ripple server configures a UNL: the set of validators whose proposals
+and validations it listens to.  Consensus safety in RPCA depends on UNL
+overlap; in practice (and in the paper's observations) nearly everyone runs
+the default list anchored on the five Ripple Labs validators R1–R5, which is
+precisely the centralization concern Section IV raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.errors import QuorumError
+
+
+@dataclass(frozen=True)
+class UNL:
+    """An immutable set of trusted validator names."""
+
+    members: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise QuorumError("a UNL cannot be empty")
+
+    @classmethod
+    def of(cls, names: Iterable[str]) -> "UNL":
+        return cls(frozenset(names))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.members))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def quorum_size(self, quorum: float = 0.8) -> int:
+        """Minimum number of agreeing members for validation.
+
+        Ripple's original protocol required 80 % agreement; the analyses the
+        paper cites ([7], [8]) led to raising this from the earlier 50 %.
+        Rounded up so that e.g. 80 % of 5 is exactly 4.
+        """
+        if not 0.0 < quorum <= 1.0:
+            raise QuorumError(f"quorum must be in (0, 1], got {quorum}")
+        size = len(self.members)
+        return size - int(size * (1.0 - quorum) + 1e-9)
+
+    def overlap(self, other: "UNL") -> float:
+        """Jaccard overlap with another UNL (a safety diagnostic)."""
+        union = self.members | other.members
+        if not union:
+            return 1.0
+        return len(self.members & other.members) / len(union)

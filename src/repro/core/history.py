@@ -1,0 +1,151 @@
+"""Financial-history profiling of a de-anonymized account.
+
+Once a single payment reveals Bob's sender address, "anyone ... can easily
+get complete and unlimited access to our balance, our previous and future
+payments, our monthly income, as well as critical information about the
+places where we shop and the people we trust" (paper abstract).  This
+module computes exactly that dossier from the public data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.dataset import TransactionDataset
+from repro.errors import AnalysisError
+from repro.ledger.accounts import AccountID
+from repro.ledger.currency import Currency, eur_value
+from repro.ledger.state import LedgerState
+
+SECONDS_PER_MONTH = 30 * 86400
+
+
+@dataclass
+class FinancialProfile:
+    """The full dossier on one account."""
+
+    account: AccountID
+    payments_sent: int = 0
+    payments_received: int = 0
+    total_spent_eur: float = 0.0
+    total_received_eur: float = 0.0
+    #: month bucket (Ripple-epoch month index) -> EUR received that month.
+    monthly_income_eur: Dict[int, float] = field(default_factory=dict)
+    monthly_spending_eur: Dict[int, float] = field(default_factory=dict)
+    #: destinations this account pays, by payment count ("where they shop").
+    top_merchants: List[Tuple[AccountID, int]] = field(default_factory=list)
+    #: counterparties that pay this account.
+    top_payers: List[Tuple[AccountID, int]] = field(default_factory=list)
+    #: trust lines declared by the account ("the people we trust").
+    trusted_parties: List[Tuple[AccountID, str, float]] = field(default_factory=list)
+    #: current per-currency net IOU balances plus XRP.
+    balances: Dict[str, float] = field(default_factory=dict)
+    first_seen: Optional[int] = None
+    last_seen: Optional[int] = None
+
+    @property
+    def average_monthly_income_eur(self) -> float:
+        if not self.monthly_income_eur:
+            return 0.0
+        return float(np.mean(list(self.monthly_income_eur.values())))
+
+    @property
+    def average_monthly_spending_eur(self) -> float:
+        if not self.monthly_spending_eur:
+            return 0.0
+        return float(np.mean(list(self.monthly_spending_eur.values())))
+
+
+def _eur(amount: float, code: str) -> float:
+    return amount * eur_value(Currency(code))
+
+
+def profile_account(
+    account: AccountID,
+    dataset: TransactionDataset,
+    state: Optional[LedgerState] = None,
+    top_k: int = 10,
+) -> FinancialProfile:
+    """Build the complete financial profile of ``account``.
+
+    ``state`` (when given) adds live balances and declared trust lines —
+    information the public ledger exposes to anyone.
+    """
+    profile = FinancialProfile(account=account)
+    account_id = dataset.account_id_of(account)
+    if account_id is None and state is None:
+        raise AnalysisError(f"account {account.short()} unknown to the dataset")
+
+    if account_id is not None:
+        sent_mask = dataset.sender_ids == account_id
+        received_mask = dataset.destination_ids == account_id
+        profile.payments_sent = int(sent_mask.sum())
+        profile.payments_received = int(received_mask.sum())
+
+        merchants: Dict[int, int] = {}
+        for row in np.flatnonzero(sent_mask):
+            timestamp = int(dataset.timestamps[row])
+            month = timestamp // SECONDS_PER_MONTH
+            value = _eur(
+                float(dataset.amounts[row]), dataset.currency_code(int(dataset.currency_ids[row]))
+            )
+            profile.total_spent_eur += value
+            profile.monthly_spending_eur[month] = (
+                profile.monthly_spending_eur.get(month, 0.0) + value
+            )
+            destination = int(dataset.destination_ids[row])
+            merchants[destination] = merchants.get(destination, 0) + 1
+            profile.first_seen = (
+                timestamp if profile.first_seen is None else min(profile.first_seen, timestamp)
+            )
+            profile.last_seen = (
+                timestamp if profile.last_seen is None else max(profile.last_seen, timestamp)
+            )
+
+        payers: Dict[int, int] = {}
+        for row in np.flatnonzero(received_mask):
+            timestamp = int(dataset.timestamps[row])
+            month = timestamp // SECONDS_PER_MONTH
+            value = _eur(
+                float(dataset.amounts[row]), dataset.currency_code(int(dataset.currency_ids[row]))
+            )
+            profile.total_received_eur += value
+            profile.monthly_income_eur[month] = (
+                profile.monthly_income_eur.get(month, 0.0) + value
+            )
+            sender = int(dataset.sender_ids[row])
+            payers[sender] = payers.get(sender, 0) + 1
+
+        profile.top_merchants = [
+            (dataset.accounts[idx], count)
+            for idx, count in sorted(merchants.items(), key=lambda kv: -kv[1])[:top_k]
+        ]
+        profile.top_payers = [
+            (dataset.accounts[idx], count)
+            for idx, count in sorted(payers.items(), key=lambda kv: -kv[1])[:top_k]
+        ]
+
+    if state is not None and state.has_account(account):
+        profile.balances["XRP"] = state.xrp_balance(account) / 10 ** 6
+        currencies = set()
+        for line in state.lines_trusted_by(account):
+            currencies.add(line.currency)
+            profile.trusted_parties.append(
+                (line.trustee, line.currency.code, line.limit.to_float())
+            )
+        for line in state.lines_trusting(account):
+            currencies.add(line.currency)
+        for currency in currencies:
+            profile.balances[currency.code] = state.iou_balance(
+                account, currency
+            ).to_float()
+
+    return profile
+
+
+def net_worth_eur(profile: FinancialProfile) -> float:
+    """Aggregate the profile's balances into EUR (as Fig. 7(c) does)."""
+    return sum(_eur(value, code) for code, value in profile.balances.items())

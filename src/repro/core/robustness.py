@@ -1,0 +1,207 @@
+"""The consensus-robustness study (Section IV, Fig. 2).
+
+This module is the paper's methodology end to end:
+
+1. stand up a consensus network for a collection period's validator
+   population;
+2. attach a stream server and a collector (the measurement rig);
+3. run the period;
+4. cross-reference every observed validation against the main ledger's
+   fully validated pages, yielding per-validator *total* vs. *valid*
+   signed-page counts;
+5. classify validators and compute the robustness findings the paper
+   reports (active counts, churn across periods, concentration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.network import NetworkModel
+from repro.stream.collector import StreamCollector
+from repro.stream.periods import (
+    DEFAULT_SCALE,
+    PERIODS,
+    PeriodSpec,
+    rounds_for_scale,
+)
+from repro.stream.server import StreamServer
+
+
+@dataclass
+class ValidatorObservation:
+    """One bar pair of Fig. 2: a validator's total and valid signed pages."""
+
+    name: str
+    total_pages: int
+    valid_pages: int
+    is_ripple_labs: bool = False
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.valid_pages / self.total_pages if self.total_pages else 0.0
+
+
+@dataclass
+class PeriodReport:
+    """Everything the study measures in one collection period."""
+
+    period: PeriodSpec
+    rounds: int
+    scale: float
+    observations: List[ValidatorObservation] = field(default_factory=list)
+    rounds_validated: int = 0
+
+    @property
+    def availability(self) -> float:
+        return self.rounds_validated / self.rounds if self.rounds else 0.0
+
+    def observation(self, name: str) -> Optional[ValidatorObservation]:
+        for obs in self.observations:
+            if obs.name == name:
+                return obs
+        return None
+
+    def active_validators(self, threshold: float = 0.5) -> List[str]:
+        """Validators whose valid pages are comparable to R1–R5's.
+
+        ``threshold`` is the fraction of the median R1–R5 valid count a
+        validator must reach to be called an *active contributor*.
+        """
+        labs = sorted(
+            obs.valid_pages for obs in self.observations if obs.is_ripple_labs
+        )
+        if not labs:
+            return []
+        reference = labs[len(labs) // 2]
+        return [
+            obs.name
+            for obs in self.observations
+            if obs.valid_pages >= threshold * reference
+        ]
+
+    def zero_valid_validators(self) -> List[str]:
+        """Observed validators that never signed a main-ledger page."""
+        return [
+            obs.name
+            for obs in self.observations
+            if obs.total_pages > 0 and obs.valid_pages == 0
+        ]
+
+    def scaled(self, counts: int) -> int:
+        """Rescale a simulated count to full two-week magnitude."""
+        return int(round(counts / self.scale))
+
+
+def run_period(
+    spec: PeriodSpec,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 0,
+    sign_pages: bool = False,
+    network: Optional[NetworkModel] = None,
+) -> PeriodReport:
+    """Execute the full measurement pipeline for one collection period."""
+    rounds = rounds_for_scale(scale)
+    validators = spec.build_validators(rounds)
+    engine = ConsensusEngine(
+        validators,
+        master_unl=spec.master_unl(),
+        network=network or NetworkModel(),
+        seed=seed,
+        sign_pages=sign_pages,
+    )
+    server = StreamServer(seed=seed + 1)
+    collector = StreamCollector()
+    server.subscribe(collector)
+    server.attach(engine)
+
+    consensus_report = engine.run(rounds)
+
+    # The paper compares stream captures against the public ledger: valid
+    # pages are those whose hash appears in the fully validated main chain.
+    totals = collector.total_counts()
+    valids = collector.valid_counts(consensus_report.main_chain_hashes)
+    labs = {v.name for v in validators if v.is_ripple_labs}
+
+    report = PeriodReport(period=spec, rounds=rounds, scale=scale)
+    report.rounds_validated = consensus_report.rounds_validated
+    for name in spec.validator_names():
+        report.observations.append(
+            ValidatorObservation(
+                name=name,
+                total_pages=totals.get(name, 0),
+                valid_pages=valids.get(name, 0),
+                is_ripple_labs=name in labs,
+            )
+        )
+    return report
+
+
+@dataclass
+class RobustnessStudy:
+    """The cross-period synthesis of Section IV."""
+
+    reports: List[PeriodReport]
+
+    @classmethod
+    def run(
+        cls,
+        periods: Sequence[PeriodSpec] = PERIODS,
+        scale: float = DEFAULT_SCALE,
+        seed: int = 0,
+    ) -> "RobustnessStudy":
+        return cls(
+            reports=[
+                run_period(spec, scale=scale, seed=seed + index * 101)
+                for index, spec in enumerate(periods)
+            ]
+        )
+
+    def validators_seen_total(self) -> int:
+        """Distinct validators across all periods (the paper counts 70)."""
+        names: Set[str] = set()
+        for report in self.reports:
+            names.update(obs.name for obs in report.observations)
+        return len(names)
+
+    def persistent_active(self, threshold: float = 0.5) -> List[str]:
+        """Validators active in *every* period (the paper finds 9)."""
+        sets = [set(report.active_validators(threshold)) for report in self.reports]
+        if not sets:
+            return []
+        common = set.intersection(*sets)
+        return sorted(common)
+
+    def active_counts(self) -> List[Tuple[str, int, int]]:
+        """Per period: (key, active non-Ripple validators, observed)."""
+        out = []
+        for report in self.reports:
+            active = [
+                name
+                for name in report.active_validators()
+                if not report.observation(name).is_ripple_labs
+            ]
+            out.append((report.period.key, len(active), report.period.observed_count()))
+        return out
+
+    def takeover_exposure(self, period_key: str) -> Dict[str, float]:
+        """How concentrated validation power is in one period.
+
+        Returns the fraction of all *valid* page signatures contributed by
+        the top 1, 3, and 5 validators — the DoS/takeover concern of the
+        paper ('a malicious party hijacking the majority of these
+        validators could endanger the whole Ripple system').
+        """
+        report = next(r for r in self.reports if r.period.key == period_key)
+        valid_counts = sorted(
+            (obs.valid_pages for obs in report.observations), reverse=True
+        )
+        total = sum(valid_counts) or 1
+        return {
+            "top1": sum(valid_counts[:1]) / total,
+            "top3": sum(valid_counts[:3]) / total,
+            "top5": sum(valid_counts[:5]) / total,
+            "top9": sum(valid_counts[:9]) / total,
+        }

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Subsystems define narrower
+classes below; modules never raise bare ``ValueError``/``RuntimeError`` for
+domain failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class LedgerError(ReproError):
+    """Base class for ledger-state and data-model errors."""
+
+
+class InvalidAddressError(LedgerError):
+    """A Ripple address failed base58/checksum validation."""
+
+
+class InvalidCurrencyError(LedgerError):
+    """A currency code is malformed (not three ASCII characters)."""
+
+
+class InvalidAmountError(LedgerError):
+    """An amount is malformed, out of range, or mixes currencies."""
+
+
+class UnknownAccountError(LedgerError):
+    """An operation referenced an account that does not exist in state."""
+
+
+class InsufficientBalanceError(LedgerError):
+    """An account attempted to spend more than its available balance."""
+
+
+class TrustLineError(LedgerError):
+    """A trust-line operation was invalid (self-trust, bad limit, ...)."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction construction/application failures."""
+
+
+class InvalidTransactionError(TransactionError):
+    """A transaction failed static validation (malformed fields)."""
+
+
+class SignatureError(TransactionError):
+    """A cryptographic signature failed to verify."""
+
+
+class PaymentError(ReproError):
+    """Base class for payment-engine failures."""
+
+
+class NoPathError(PaymentError):
+    """No usable payment path exists between sender and receiver."""
+
+
+class PathDryError(PaymentError):
+    """A candidate path exists but carries insufficient liquidity."""
+
+
+class OfferError(PaymentError):
+    """An order-book operation was invalid."""
+
+
+class ConsensusError(ReproError):
+    """Base class for consensus-protocol failures."""
+
+
+class QuorumError(ConsensusError):
+    """A quorum/threshold configuration is unsatisfiable."""
+
+
+class StreamError(ReproError):
+    """Base class for validation-stream collection failures."""
+
+
+class SyntheticError(ReproError):
+    """Base class for synthetic-history generation failures."""
+
+
+class AnalysisError(ReproError):
+    """Base class for analysis/dataset failures."""

@@ -1,0 +1,96 @@
+"""The distributed-ledger substrate: data model, hashing, and signatures.
+
+This package implements the ledger layer the paper's study reads: accounts
+with base58 ``r...`` addresses, XRP and issued (IOU) amounts, trust lines,
+exchange offers, the transaction types, and the page chain sealed by
+consensus.
+"""
+
+from repro.ledger.accounts import (
+    ACCOUNT_ZERO,
+    AccountID,
+    account_from_name,
+    decode_account_id,
+    encode_account_id,
+)
+from repro.ledger.amounts import DROPS_PER_XRP, Amount
+from repro.ledger.apply import ApplyCode, AppliedTransaction, TransactionApplier
+from repro.ledger.crypto import KeyPair, Signature, verify
+from repro.ledger.currency import (
+    BTC,
+    CCK,
+    CNY,
+    EUR,
+    JPY,
+    MTL,
+    USD,
+    XRP,
+    Currency,
+    Strength,
+    eur_value,
+    rounding_resolutions,
+    strength_of,
+)
+from repro.ledger.offers import Offer
+from repro.ledger.pages import GENESIS_PARENT_HASH, LedgerChain, LedgerPage
+from repro.ledger.state import BASE_RESERVE_DROPS, AccountRoot, LedgerState
+from repro.ledger.transactions import (
+    BASE_FEE_DROPS,
+    RIPPLE_EPOCH,
+    AccountSet,
+    OfferCancel,
+    OfferCreate,
+    Payment,
+    Transaction,
+    TrustSet,
+    from_ripple_time,
+    to_ripple_time,
+)
+from repro.ledger.trustlines import TrustLine
+
+__all__ = [
+    "ACCOUNT_ZERO",
+    "AppliedTransaction",
+    "ApplyCode",
+    "TransactionApplier",
+    "AccountID",
+    "AccountRoot",
+    "AccountSet",
+    "Amount",
+    "BASE_FEE_DROPS",
+    "BASE_RESERVE_DROPS",
+    "BTC",
+    "CCK",
+    "CNY",
+    "Currency",
+    "DROPS_PER_XRP",
+    "EUR",
+    "GENESIS_PARENT_HASH",
+    "JPY",
+    "KeyPair",
+    "LedgerChain",
+    "LedgerPage",
+    "LedgerState",
+    "MTL",
+    "Offer",
+    "OfferCancel",
+    "OfferCreate",
+    "Payment",
+    "RIPPLE_EPOCH",
+    "Signature",
+    "Strength",
+    "Transaction",
+    "TrustLine",
+    "TrustSet",
+    "USD",
+    "XRP",
+    "account_from_name",
+    "decode_account_id",
+    "encode_account_id",
+    "eur_value",
+    "from_ripple_time",
+    "rounding_resolutions",
+    "strength_of",
+    "to_ripple_time",
+    "verify",
+]

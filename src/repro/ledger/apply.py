@@ -1,0 +1,177 @@
+"""Applying transactions to ledger state, with rippled-style result codes.
+
+The payment engine routes value; *this* layer is what a server does with a
+submitted transaction object: static validation, signature check, sequence
+(replay) check, fee claim, then dispatch by transaction type.  Result codes
+follow rippled's taxonomy:
+
+``tem*`` — malformed, never forwarded;
+``tef*`` — failure that can never succeed (bad signature, past sequence);
+``ter*`` — retryable (future sequence);
+``tec*`` — claimed a fee but had no effect (dry path, unfunded, ...);
+``tesSUCCESS`` — applied.
+
+``tec`` results matter for the reproduction: such transactions *do* end up
+in the ledger (they paid for their slot), which is why the paper's spam
+analysis sees failed-but-recorded traffic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import (
+    InsufficientBalanceError,
+    InvalidTransactionError,
+    LedgerError,
+    PaymentError,
+    TrustLineError,
+)
+from repro.ledger.offers import Offer
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import (
+    AccountSet,
+    OfferCancel,
+    OfferCreate,
+    Payment,
+    Transaction,
+    TrustSet,
+)
+from repro.payments.engine import PaymentEngine, PaymentResult
+
+
+class ApplyCode(enum.Enum):
+    """Outcome of applying one transaction."""
+
+    SUCCESS = "tesSUCCESS"
+    MALFORMED = "temMALFORMED"
+    BAD_SIGNATURE = "tefBAD_AUTH"
+    PAST_SEQUENCE = "tefPAST_SEQ"
+    FUTURE_SEQUENCE = "terPRE_SEQ"
+    UNKNOWN_ACCOUNT = "terNO_ACCOUNT"
+    UNFUNDED_FEE = "tecUNFUNDED_FEE"
+    PATH_FAILURE = "tecPATH_DRY"
+    NO_EFFECT = "tecNO_TARGET"
+
+    @property
+    def applied_to_ledger(self) -> bool:
+        """Whether the transaction occupies a ledger slot (tes or tec)."""
+        return self.value.startswith(("tes", "tec"))
+
+    @property
+    def retryable(self) -> bool:
+        return self.value.startswith("ter")
+
+
+@dataclass
+class AppliedTransaction:
+    """A transaction plus what applying it did."""
+
+    transaction: Transaction
+    code: ApplyCode
+    payment_result: Optional[PaymentResult] = None
+    fee_claimed: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.code is ApplyCode.SUCCESS
+
+
+class TransactionApplier:
+    """Validates and applies transaction objects to a ledger state."""
+
+    def __init__(
+        self,
+        state: LedgerState,
+        require_signatures: bool = True,
+        engine: Optional[PaymentEngine] = None,
+    ):
+        self.state = state
+        self.require_signatures = require_signatures
+        # The applier owns fee handling; the engine must not double-burn.
+        self.engine = engine or PaymentEngine(state, enforce_fees=False)
+
+    # Checks ---------------------------------------------------------------------
+
+    def _precheck(self, tx: Transaction) -> Optional[ApplyCode]:
+        try:
+            tx.validate()
+        except InvalidTransactionError:
+            return ApplyCode.MALFORMED
+        if self.require_signatures and not tx.verify_signature():
+            return ApplyCode.BAD_SIGNATURE
+        if not self.state.has_account(tx.account):
+            return ApplyCode.UNKNOWN_ACCOUNT
+        root = self.state.account(tx.account)
+        if tx.sequence < root.sequence:
+            return ApplyCode.PAST_SEQUENCE
+        if tx.sequence > root.sequence:
+            return ApplyCode.FUTURE_SEQUENCE
+        if root.balance_drops < tx.fee_drops:
+            return ApplyCode.UNFUNDED_FEE
+        return None
+
+    def _claim(self, tx: Transaction) -> int:
+        """Claim the fee and consume the sequence number."""
+        self.state.burn_fee(tx.account, tx.fee_drops)
+        self.state.account(tx.account).sequence = tx.sequence + 1
+        return tx.fee_drops
+
+    # Dispatch --------------------------------------------------------------------
+
+    def apply(self, tx: Transaction) -> AppliedTransaction:
+        """Apply one transaction; never raises for domain failures."""
+        failure = self._precheck(tx)
+        if failure is not None:
+            return AppliedTransaction(transaction=tx, code=failure)
+        fee = self._claim(tx)
+
+        if isinstance(tx, Payment):
+            return self._apply_payment(tx, fee)
+        if isinstance(tx, TrustSet):
+            return self._apply_trust_set(tx, fee)
+        if isinstance(tx, OfferCreate):
+            return self._apply_offer_create(tx, fee)
+        if isinstance(tx, OfferCancel):
+            return self._apply_offer_cancel(tx, fee)
+        if isinstance(tx, AccountSet):
+            return AppliedTransaction(tx, ApplyCode.SUCCESS, fee_claimed=fee)
+        return AppliedTransaction(tx, ApplyCode.MALFORMED, fee_claimed=fee)
+
+    def _apply_payment(self, tx: Payment, fee: int) -> AppliedTransaction:
+        result = self.engine.submit(
+            tx.account, tx.destination, tx.amount, send_max=tx.send_max
+        )
+        code = ApplyCode.SUCCESS if result.success else ApplyCode.PATH_FAILURE
+        return AppliedTransaction(
+            transaction=tx, code=code, payment_result=result, fee_claimed=fee
+        )
+
+    def _apply_trust_set(self, tx: TrustSet, fee: int) -> AppliedTransaction:
+        if not self.state.has_account(tx.trustee):
+            return AppliedTransaction(tx, ApplyCode.NO_EFFECT, fee_claimed=fee)
+        try:
+            self.state.set_trust(tx.account, tx.trustee, tx.limit)
+        except (TrustLineError, LedgerError):
+            return AppliedTransaction(tx, ApplyCode.NO_EFFECT, fee_claimed=fee)
+        return AppliedTransaction(tx, ApplyCode.SUCCESS, fee_claimed=fee)
+
+    def _apply_offer_create(self, tx: OfferCreate, fee: int) -> AppliedTransaction:
+        offer = Offer(
+            owner=tx.account,
+            sequence=tx.sequence,
+            taker_pays=tx.taker_pays,
+            taker_gets=tx.taker_gets,
+        )
+        try:
+            self.state.place_offer(offer)
+        except LedgerError:
+            return AppliedTransaction(tx, ApplyCode.NO_EFFECT, fee_claimed=fee)
+        return AppliedTransaction(tx, ApplyCode.SUCCESS, fee_claimed=fee)
+
+    def _apply_offer_cancel(self, tx: OfferCancel, fee: int) -> AppliedTransaction:
+        removed = self.state.cancel_offer(tx.account, tx.offer_sequence)
+        code = ApplyCode.SUCCESS if removed else ApplyCode.NO_EFFECT
+        return AppliedTransaction(tx, code, fee_claimed=fee)

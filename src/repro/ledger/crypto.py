@@ -1,0 +1,125 @@
+"""Schnorr signatures over a Schnorr group, implemented in pure Python.
+
+Ripple signs transactions and validations with ECDSA/Ed25519.  Neither is
+available in the offline environment, so we implement a classical Schnorr
+signature over a 2048-bit Schnorr group (a prime-order subgroup of the
+multiplicative group modulo a safe prime).  This is a *real* signature
+scheme — existential unforgeability under the discrete-log assumption — not
+a mock: signatures verify with the public key alone, and tampering with the
+message, the signature, or the key makes verification fail.
+
+Because modular exponentiation with 2048-bit moduli costs ~1 ms, large-scale
+consensus simulations sign lazily (see :mod:`repro.consensus.validator`);
+this module is used directly for transaction signing in examples and tests.
+
+The group parameters are the well-known RFC 3526 2048-bit MODP prime, for
+which ``q = (p - 1) / 2`` is prime and ``g = 4`` generates the order-``q``
+subgroup of quadratic residues.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.errors import SignatureError
+
+#: RFC 3526 group 14 prime (2048-bit safe prime): p = 2^2048 - 2^1984 - 1 +
+#: 2^64 * (floor(2^1918 * pi) + 124476).
+P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+#: Order of the quadratic-residue subgroup: q = (p - 1) / 2, prime.
+Q = (P - 1) // 2
+#: Generator of the order-q subgroup (4 = 2^2 is a quadratic residue).
+G = 4
+
+_CHALLENGE_BITS = 256
+
+
+def _int_from_hash(*parts: bytes) -> int:
+    digest = hashlib.sha512(b"".join(parts)).digest()
+    return int.from_bytes(digest[: _CHALLENGE_BITS // 8], "big")
+
+
+def _deterministic_nonce(secret: int, message: bytes) -> int:
+    """RFC 6979-style deterministic nonce: HMAC of message keyed by secret.
+
+    Deterministic nonces make signing reproducible (important for the seeded
+    simulations) and remove the catastrophic repeated-nonce failure mode.
+    """
+    key = secret.to_bytes(256, "big")
+    mac = hmac.new(key, message, hashlib.sha512).digest()
+    k = int.from_bytes(mac, "big") % Q
+    # k == 0 is astronomically unlikely but would leak the secret; reject it.
+    return k if k != 0 else 1
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(s, e)`` with ``s in [0, q)`` and hash ``e``."""
+
+    s: int
+    e: int
+
+    def to_bytes(self) -> bytes:
+        return self.s.to_bytes(256, "big") + self.e.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Signature":
+        if len(raw) != 288:
+            raise SignatureError(f"signature must be 288 bytes, got {len(raw)}")
+        return cls(s=int.from_bytes(raw[:256], "big"), e=int.from_bytes(raw[256:], "big"))
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A Schnorr key pair.
+
+    ``secret`` is an exponent in ``[1, q)``; ``public`` is ``g^secret mod p``.
+    """
+
+    secret: int
+    public: int
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeyPair":
+        """Derive a key pair deterministically from arbitrary seed bytes."""
+        secret = (_int_from_hash(b"repro-keypair", seed) % (Q - 1)) + 1
+        return cls(secret=secret, public=pow(G, secret, P))
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message`` (classic Schnorr: commit, challenge, response)."""
+        k = _deterministic_nonce(self.secret, message)
+        r = pow(G, k, P)
+        e = _int_from_hash(r.to_bytes(256, "big"), message) % Q
+        s = (k - self.secret * e) % Q
+        return Signature(s=s, e=e)
+
+    def public_bytes(self) -> bytes:
+        return self.public.to_bytes(256, "big")
+
+
+def verify(public: int, message: bytes, signature: Signature) -> bool:
+    """Return True iff ``signature`` is valid for ``message`` under ``public``."""
+    if not (0 <= signature.s < Q) or not (0 <= signature.e < Q):
+        return False
+    # r' = g^s * y^e mod p; valid iff H(r' || m) == e.
+    r = (pow(G, signature.s, P) * pow(public, signature.e, P)) % P
+    e = _int_from_hash(r.to_bytes(256, "big"), message) % Q
+    return e == signature.e
+
+
+def require_valid(public: int, message: bytes, signature: Signature) -> None:
+    """Raise :class:`SignatureError` unless the signature verifies."""
+    if not verify(public, message, signature):
+        raise SignatureError("signature verification failed")

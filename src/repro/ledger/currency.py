@@ -1,0 +1,173 @@
+"""Currency codes and the market-strength grouping of Table I.
+
+Ripple identifies currencies by three-character codes.  Most are ISO 4217
+("USD", "EUR", ...), but the code space is open — anyone can issue IOUs in an
+arbitrary code, which is exactly how the paper's spam currencies ("CCK",
+"MTL" as used on Ripple) appear near the top of the usage ranking of Fig. 4
+despite not being recognized currencies.
+
+Table I of the paper groups currencies into three *strength* classes that
+drive the amount-rounding resolutions of the de-anonymization study:
+
+========  ==========================  =======  =======  =======
+Strength  Currencies                  Max (m)  Avg (a)  Low (l)
+========  ==========================  =======  =======  =======
+Powerful  BTC, XAG, XAU, XPT          1e-3     1e-2     1e-1
+Medium    CNY, EUR, USD,
+          AUD, GBP, JPY               1e1      1e2      1e3
+Weak      XRP, CCK, STR, KRW, MTL     1e5      1e6      1e7
+========  ==========================  =======  =======  =======
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import InvalidCurrencyError
+
+
+class Strength(enum.Enum):
+    """Market-strength class of a currency (Table I)."""
+
+    POWERFUL = "powerful"
+    MEDIUM = "medium"
+    WEAK = "weak"
+
+
+@dataclass(frozen=True, order=True)
+class Currency:
+    """A three-character Ripple currency code."""
+
+    code: str
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 3 or not self.code.isascii():
+            raise InvalidCurrencyError(f"currency code must be 3 ASCII chars: {self.code!r}")
+        if not self.code.isupper() and not self.code.isdigit():
+            raise InvalidCurrencyError(f"currency code must be upper-case: {self.code!r}")
+
+    @property
+    def is_xrp(self) -> bool:
+        return self.code == "XRP"
+
+    @property
+    def is_iso4217(self) -> bool:
+        """True if the code is in the ISO 4217 subset we track.
+
+        The paper notes CCK and MTL (as used on Ripple) are *not* recognized
+        by the currency-codes standard, hinting they were crafted for spam.
+        """
+        return self.code in _ISO4217_CODES
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.code
+
+
+# Well-known instances -------------------------------------------------------
+
+XRP = Currency("XRP")
+BTC = Currency("BTC")
+USD = Currency("USD")
+EUR = Currency("EUR")
+CNY = Currency("CNY")
+JPY = Currency("JPY")
+GBP = Currency("GBP")
+AUD = Currency("AUD")
+KRW = Currency("KRW")
+CAD = Currency("CAD")
+NZD = Currency("NZD")
+MXN = Currency("MXN")
+BRL = Currency("BRL")
+ILS = Currency("ILS")
+XAU = Currency("XAU")
+XAG = Currency("XAG")
+XPT = Currency("XPT")
+STR = Currency("STR")
+LTC = Currency("LTC")
+#: The two spam currencies the paper singles out (Figs. 4–6).
+CCK = Currency("CCK")
+MTL = Currency("MTL")
+
+_ISO4217_CODES = frozenset(
+    {
+        "USD", "EUR", "CNY", "JPY", "GBP", "AUD", "KRW", "CAD", "NZD",
+        "MXN", "BRL", "ILS", "XAU", "XAG", "XPT", "CHF", "SEK", "NOK",
+        "DKK", "RUB", "INR", "SGD", "HKD", "TRY", "ZAR", "PLN",
+    }
+)
+
+#: Strength-class membership from Table I.
+_STRENGTH_BY_CODE: Dict[str, Strength] = {}
+for _code in ("BTC", "XAG", "XAU", "XPT"):
+    _STRENGTH_BY_CODE[_code] = Strength.POWERFUL
+for _code in ("CNY", "EUR", "USD", "AUD", "GBP", "JPY"):
+    _STRENGTH_BY_CODE[_code] = Strength.MEDIUM
+for _code in ("XRP", "CCK", "STR", "KRW", "MTL"):
+    _STRENGTH_BY_CODE[_code] = Strength.WEAK
+
+#: Rounding granularities (max, average, low) per strength class — the 10^x
+#: column triplets of Table I.
+ROUNDING_BY_STRENGTH: Dict[Strength, Tuple[float, float, float]] = {
+    Strength.POWERFUL: (1e-3, 1e-2, 1e-1),
+    Strength.MEDIUM: (1e1, 1e2, 1e3),
+    Strength.WEAK: (1e5, 1e6, 1e7),
+}
+
+#: Rough market value of one unit of each currency in EUR, used to aggregate
+#: balances for Fig. 7(c) and to classify unlisted currencies by strength.
+#: Values reflect mid-2015 magnitudes; only the order of magnitude matters.
+EUR_VALUE: Dict[str, float] = {
+    "XRP": 0.007,
+    "BTC": 220.0,
+    "USD": 0.9,
+    "EUR": 1.0,
+    "CNY": 0.14,
+    "JPY": 0.0075,
+    "GBP": 1.38,
+    "AUD": 0.65,
+    "KRW": 0.00077,
+    "CAD": 0.68,
+    "NZD": 0.59,
+    "MXN": 0.055,
+    "BRL": 0.26,
+    "ILS": 0.23,
+    "XAU": 1000.0,
+    "XAG": 14.0,
+    "XPT": 900.0,
+    "STR": 0.002,
+    "LTC": 2.7,
+    "CCK": 200.0,   # micro-amount profile similar to BTC (paper, Fig. 5)
+    "MTL": 1e-9,    # spam currency exchanged in ~1e9 chunks
+}
+
+
+def strength_of(currency: Currency) -> Strength:
+    """Return the Table I strength class of ``currency``.
+
+    Currencies not listed in Table I are classified by their approximate
+    EUR value when known, and default to MEDIUM otherwise — the analysis
+    must be total over the open currency-code space.
+    """
+    known = _STRENGTH_BY_CODE.get(currency.code)
+    if known is not None:
+        return known
+    value = EUR_VALUE.get(currency.code)
+    if value is None:
+        return Strength.MEDIUM
+    if value >= 10.0:
+        return Strength.POWERFUL
+    if value <= 0.01:
+        return Strength.WEAK
+    return Strength.MEDIUM
+
+
+def rounding_resolutions(currency: Currency) -> Tuple[float, float, float]:
+    """The (max, average, low) rounding granularities for ``currency``."""
+    return ROUNDING_BY_STRENGTH[strength_of(currency)]
+
+
+def eur_value(currency: Currency) -> float:
+    """Approximate EUR value of one unit of ``currency`` (default 0.1)."""
+    return EUR_VALUE.get(currency.code, 0.1)

@@ -1,0 +1,57 @@
+"""Canonical hashing used throughout the ledger.
+
+Ripple identifies every on-ledger object by a 256-bit hash.  The production
+system uses the first half of SHA-512 ("SHA-512Half") because it is faster
+than SHA-256 on 64-bit hardware while providing the same truncated security
+level.  We reproduce that choice, together with the namespace prefixes the
+real implementation mixes into each hash so that a transaction hash can never
+collide with, say, a ledger-page hash of identical serialized bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Namespace prefixes, mirroring rippled's ``HashPrefix`` values: four ASCII
+#: bytes mixed in front of the serialized payload before hashing.
+PREFIX_TRANSACTION = b"TXN\x00"
+PREFIX_LEDGER_PAGE = b"LWR\x00"
+PREFIX_VALIDATION = b"VAL\x00"
+PREFIX_ACCOUNT = b"ACC\x00"
+PREFIX_PROPOSAL = b"PRP\x00"
+PREFIX_TXSET = b"TXS\x00"
+
+
+def sha512half(data: bytes) -> bytes:
+    """Return the first 32 bytes of SHA-512 of ``data``."""
+    return hashlib.sha512(data).digest()[:32]
+
+
+def hash_with_prefix(prefix: bytes, data: bytes) -> bytes:
+    """Hash ``data`` inside the namespace identified by ``prefix``."""
+    return sha512half(prefix + data)
+
+
+def transaction_hash(serialized: bytes) -> bytes:
+    """256-bit identifying hash of a serialized transaction."""
+    return hash_with_prefix(PREFIX_TRANSACTION, serialized)
+
+
+def ledger_page_hash(serialized: bytes) -> bytes:
+    """256-bit identifying hash of a serialized ledger page header."""
+    return hash_with_prefix(PREFIX_LEDGER_PAGE, serialized)
+
+
+def tx_set_hash(tx_hashes: list) -> bytes:
+    """Order-independent hash of a set of transaction hashes.
+
+    The consensus protocol agrees on transaction *sets*; two validators with
+    the same set in different arrival order must compute the same identifier,
+    so the member hashes are sorted before hashing.
+    """
+    return hash_with_prefix(PREFIX_TXSET, b"".join(sorted(tx_hashes)))
+
+
+def checksum4(data: bytes) -> bytes:
+    """Four-byte double-SHA-256 checksum used by base58check encoding."""
+    return hashlib.sha256(hashlib.sha256(data).digest()).digest()[:4]

@@ -1,0 +1,107 @@
+"""Currency-exchange offers — the inventory of Market Makers.
+
+An offer says: "I will *get* up to ``taker_pays`` of one asset and in
+exchange *give* up to ``taker_gets`` of another, at the implied rate".  The
+naming follows rippled: fields are from the taker's perspective (the taker
+pays ``taker_pays`` and gets ``taker_gets``).  Offers are the bridges of the
+paper's Section III-C: chains of offers let a USD payment arrive as EUR, and
+XRP acts as a universal intermediate asset.
+
+Order books (price-sorted offer queues per asset pair) live in
+:mod:`repro.payments.orderbook`; this module defines the offer object itself
+and partial-fill accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import OfferError
+from repro.ledger.accounts import AccountID
+from repro.ledger.amounts import Amount
+
+
+@dataclass
+class Offer:
+    """A limit order on a Ripple order book.
+
+    ``quality`` is the taker's price: ``taker_pays / taker_gets`` per unit —
+    lower is better for the taker.  Books sort ascending by quality.
+    """
+
+    owner: AccountID
+    sequence: int
+    taker_pays: Amount
+    taker_gets: Amount
+
+    def __post_init__(self) -> None:
+        if self.taker_pays.is_zero or self.taker_gets.is_zero:
+            raise OfferError("offer amounts must be non-zero")
+        if self.taker_pays.is_negative or self.taker_gets.is_negative:
+            raise OfferError("offer amounts must be positive")
+        same_currency = self.taker_pays.currency == self.taker_gets.currency
+        same_issuer = self.taker_pays.issuer == self.taker_gets.issuer
+        if same_currency and same_issuer:
+            raise OfferError("offer must exchange two distinct assets")
+
+    @property
+    def book_key(self) -> Tuple[str, str]:
+        """(pays currency, gets currency) pair identifying the order book."""
+        return (self.taker_pays.currency.code, self.taker_gets.currency.code)
+
+    @property
+    def quality(self) -> float:
+        """Taker price: how much the taker pays per unit received."""
+        return self.taker_pays.to_float() / self.taker_gets.to_float()
+
+    @property
+    def is_consumed(self) -> bool:
+        """True when the remaining size is dust (fully filled)."""
+        return self.taker_gets.to_float() <= 1e-12
+
+    def fill(self, gets_amount: Amount) -> Amount:
+        """Consume the offer for ``gets_amount`` of the *gets* asset.
+
+        Returns the corresponding *pays* amount at the offer's rate and
+        shrinks both sides proportionally.  Raises :class:`OfferError` when
+        asked for more than the remaining size.
+        """
+        if gets_amount.currency != self.taker_gets.currency:
+            raise OfferError("fill currency does not match offer gets side")
+        if gets_amount.is_negative:
+            raise OfferError("fill amount must be non-negative")
+        remaining = self.taker_gets.to_float()
+        wanted = gets_amount.to_float()
+        if wanted > remaining * (1 + 1e-9):
+            raise OfferError(f"fill of {gets_amount} exceeds offer size {self.taker_gets}")
+        fraction = min(1.0, wanted / remaining) if remaining > 0 else 0.0
+        pays_part = self.taker_pays.scaled(fraction)
+        self.taker_pays = self.taker_pays - pays_part
+        self.taker_gets = self.taker_gets - gets_amount.min(self.taker_gets)
+        return pays_part
+
+    def max_gets_for(self, pays_budget: Amount) -> Amount:
+        """Largest *gets* amount obtainable with ``pays_budget``.
+
+        Capped by the offer's remaining size.
+        """
+        if pays_budget.currency != self.taker_pays.currency:
+            raise OfferError("budget currency does not match offer pays side")
+        if self.taker_pays.is_zero:
+            return self.taker_gets
+        fraction = min(1.0, pays_budget.to_float() / self.taker_pays.to_float())
+        return self.taker_gets.scaled(fraction)
+
+    def offer_id(self) -> Tuple[AccountID, int]:
+        """Stable identity of the offer: (owner, owner sequence number)."""
+        return (self.owner, self.sequence)
+
+
+def better_quality(a: Optional[float], b: Optional[float]) -> bool:
+    """True if quality ``a`` beats (is lower than) quality ``b``."""
+    if a is None:
+        return False
+    if b is None:
+        return True
+    return a < b

@@ -1,0 +1,243 @@
+"""Transaction types recorded in the distributed ledger.
+
+Every state change in Ripple is a signed transaction: payments, trust-line
+updates, and exchange offers.  Each transaction carries the submitting
+account, an account-local sequence number (replay protection), and an XRP
+fee that is *destroyed* on application — the anti-spam mechanism the paper
+discusses (and that the MTL/CCK attackers paid to abuse the system anyway).
+
+Transactions serialize canonically so that their identifying hash is stable,
+and can be signed/verified with the Schnorr scheme of
+:mod:`repro.ledger.crypto`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import InvalidTransactionError
+from repro.ledger import crypto
+from repro.ledger.accounts import AccountID
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import Currency
+from repro.ledger.hashing import transaction_hash
+
+#: Ripple measures time in seconds since 2000-01-01T00:00:00 UTC.
+RIPPLE_EPOCH = _dt.datetime(2000, 1, 1, tzinfo=_dt.timezone.utc)
+
+#: Reference transaction cost, in drops (10 drops = 0.00001 XRP).
+BASE_FEE_DROPS = 10
+
+
+def to_ripple_time(when: _dt.datetime) -> int:
+    """Convert an aware datetime to Ripple-epoch seconds."""
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=_dt.timezone.utc)
+    return int((when - RIPPLE_EPOCH).total_seconds())
+
+
+def from_ripple_time(seconds: int) -> _dt.datetime:
+    """Convert Ripple-epoch seconds back to an aware datetime."""
+    return RIPPLE_EPOCH + _dt.timedelta(seconds=int(seconds))
+
+
+@dataclass
+class Transaction:
+    """Common fields of every ledger transaction."""
+
+    account: AccountID
+    sequence: int
+    fee_drops: int = BASE_FEE_DROPS
+    signature: Optional[crypto.Signature] = None
+    public_key: Optional[int] = None
+
+    TYPE_NAME = "Transaction"
+
+    def _payload_fields(self) -> Tuple:
+        """Subclass hook: the type-specific fields entering serialization."""
+        return ()
+
+    def serialize(self) -> bytes:
+        """Canonical byte serialization (signature excluded)."""
+        parts = [
+            self.TYPE_NAME.encode(),
+            self.account.raw,
+            self.sequence.to_bytes(8, "big"),
+            self.fee_drops.to_bytes(8, "big"),
+        ]
+        for item in self._payload_fields():
+            parts.append(_serialize_field(item))
+        return b"|".join(parts)
+
+    @property
+    def tx_hash(self) -> bytes:
+        """The 256-bit identifying hash of this transaction."""
+        return transaction_hash(self.serialize())
+
+    def sign(self, keypair: crypto.KeyPair) -> None:
+        """Attach a signature over the canonical serialization."""
+        self.signature = keypair.sign(self.serialize())
+        self.public_key = keypair.public
+
+    def verify_signature(self) -> bool:
+        """Check the attached signature; False when unsigned."""
+        if self.signature is None or self.public_key is None:
+            return False
+        return crypto.verify(self.public_key, self.serialize(), self.signature)
+
+    def validate(self) -> None:
+        """Static validity checks common to all transaction types."""
+        if self.sequence < 0:
+            raise InvalidTransactionError("sequence must be non-negative")
+        if self.fee_drops < BASE_FEE_DROPS:
+            raise InvalidTransactionError(
+                f"fee {self.fee_drops} below base fee {BASE_FEE_DROPS}"
+            )
+
+
+def _serialize_field(item) -> bytes:
+    if item is None:
+        return b"-"
+    if isinstance(item, AccountID):
+        return item.raw
+    if isinstance(item, Amount):
+        issuer = item.issuer.raw if item.issuer else b""
+        return (
+            item.currency.code.encode()
+            + item.mantissa.to_bytes(16, "big", signed=True)
+            + item.exponent.to_bytes(2, "big", signed=True)
+            + issuer
+        )
+    if isinstance(item, Currency):
+        return item.code.encode()
+    if isinstance(item, int):
+        return item.to_bytes(16, "big", signed=True)
+    if isinstance(item, str):
+        return item.encode()
+    if isinstance(item, (tuple, list)):
+        return b"[" + b";".join(_serialize_field(x) for x in item) + b"]"
+    raise InvalidTransactionError(f"unserializable field {item!r}")
+
+
+@dataclass
+class Payment(Transaction):
+    """Move value from ``account`` to ``destination``.
+
+    ``amount`` is what the destination receives.  For IOU and cross-currency
+    payments, ``send_max`` bounds what the sender is willing to spend and
+    ``paths`` (when present) pins the trust-line route — the payment *paths*
+    whose structure the paper analyses in Fig. 6.
+    """
+
+    destination: AccountID = None  # type: ignore[assignment]
+    amount: Amount = None  # type: ignore[assignment]
+    send_max: Optional[Amount] = None
+    timestamp: int = 0  # Ripple-epoch close time stamped by the ledger
+
+    TYPE_NAME = "Payment"
+
+    def _payload_fields(self) -> Tuple:
+        return (self.destination, self.amount, self.send_max, self.timestamp)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.destination is None or self.amount is None:
+            raise InvalidTransactionError("payment needs destination and amount")
+        if self.destination == self.account:
+            raise InvalidTransactionError("payment to self")
+        if not self.amount.is_positive:
+            raise InvalidTransactionError("payment amount must be positive")
+        if self.send_max is not None and not self.send_max.is_positive:
+            raise InvalidTransactionError("send_max must be positive")
+
+    @property
+    def is_cross_currency(self) -> bool:
+        """True when the sender spends a different currency than delivered."""
+        return self.send_max is not None and (
+            self.send_max.currency != self.amount.currency
+        )
+
+
+@dataclass
+class TrustSet(Transaction):
+    """Create or update a trust line from ``account`` towards ``trustee``."""
+
+    trustee: AccountID = None  # type: ignore[assignment]
+    limit: Amount = None  # type: ignore[assignment]
+
+    TYPE_NAME = "TrustSet"
+
+    def _payload_fields(self) -> Tuple:
+        return (self.trustee, self.limit)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.trustee is None or self.limit is None:
+            raise InvalidTransactionError("trust set needs trustee and limit")
+        if self.trustee == self.account:
+            raise InvalidTransactionError("cannot trust self")
+        if self.limit.is_negative:
+            raise InvalidTransactionError("trust limit cannot be negative")
+        if self.limit.currency.is_xrp:
+            raise InvalidTransactionError("cannot create an XRP trust line")
+
+
+@dataclass
+class OfferCreate(Transaction):
+    """Place an exchange offer on the order book (Market Maker activity)."""
+
+    taker_pays: Amount = None  # type: ignore[assignment]
+    taker_gets: Amount = None  # type: ignore[assignment]
+
+    TYPE_NAME = "OfferCreate"
+
+    def _payload_fields(self) -> Tuple:
+        return (self.taker_pays, self.taker_gets)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.taker_pays is None or self.taker_gets is None:
+            raise InvalidTransactionError("offer needs both sides")
+        if not self.taker_pays.is_positive or not self.taker_gets.is_positive:
+            raise InvalidTransactionError("offer amounts must be positive")
+
+
+@dataclass
+class OfferCancel(Transaction):
+    """Withdraw a previously placed offer."""
+
+    offer_sequence: int = 0
+
+    TYPE_NAME = "OfferCancel"
+
+    def _payload_fields(self) -> Tuple:
+        return (self.offer_sequence,)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.offer_sequence < 0:
+            raise InvalidTransactionError("offer sequence must be non-negative")
+
+
+@dataclass
+class AccountSet(Transaction):
+    """Tweak account flags/metadata (e.g. a gateway enabling default ripple)."""
+
+    flags: Tuple[str, ...] = field(default_factory=tuple)
+
+    TYPE_NAME = "AccountSet"
+
+    def _payload_fields(self) -> Tuple:
+        return (tuple(self.flags),)
+
+
+#: All concrete transaction types, for registry-style dispatch.
+TRANSACTION_TYPES: Sequence[type] = (
+    Payment,
+    TrustSet,
+    OfferCreate,
+    OfferCancel,
+    AccountSet,
+)

@@ -1,0 +1,180 @@
+"""A full simulated rippled node: submission, consensus, application, chain.
+
+``RippledNode`` wires every substrate together the way a real server does:
+
+1. clients **submit** signed transactions; the node runs the static and
+   signature prechecks and queues survivors in the open-ledger pool;
+2. each **consensus round** proposes the pool to the validator network;
+   the agreed transaction set comes back from RPCA;
+3. agreed transactions are **applied in canonical order** (sorted by hash,
+   rippled's deterministic shuffle) against the ledger state — including
+   ``tec`` failures, which claim their fee and their ledger slot;
+4. the applied set is **sealed** into a new ledger page whose close time
+   is the authoritative payment timestamp — the exact field the paper's
+   de-anonymization study reads off the public ledger.
+
+This is the component a downstream user scripts against when they want the
+whole system rather than one substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.faults import active
+from repro.consensus.network import NetworkModel
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.errors import ConsensusError
+from repro.ledger.apply import ApplyCode, AppliedTransaction, TransactionApplier
+from repro.ledger.pages import LedgerChain, LedgerPage
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import Payment, Transaction
+
+
+@dataclass
+class ClosedLedger:
+    """One sealed ledger: the page plus per-transaction apply outcomes."""
+
+    page: LedgerPage
+    applied: List[AppliedTransaction] = field(default_factory=list)
+    validated: bool = True
+
+    @property
+    def success_count(self) -> int:
+        return sum(1 for item in self.applied if item.succeeded)
+
+
+def default_validators(count: int = 5) -> List[Validator]:
+    """A healthy in-process validator set for single-node simulations."""
+    names = [f"validator-{i}" for i in range(count)]
+    unl = UNL.of(names)
+    return [Validator(name, unl, active(availability=1.0)) for name in names]
+
+
+class RippledNode:
+    """The end-to-end server facade."""
+
+    def __init__(
+        self,
+        state: Optional[LedgerState] = None,
+        validators: Optional[Sequence[Validator]] = None,
+        require_signatures: bool = True,
+        network: Optional[NetworkModel] = None,
+        seed: int = 0,
+    ):
+        self.state = state if state is not None else LedgerState()
+        self.applier = TransactionApplier(
+            self.state, require_signatures=require_signatures
+        )
+        roster = list(validators) if validators is not None else default_validators()
+        self.consensus = ConsensusEngine(
+            roster,
+            network=network or NetworkModel(),
+            seed=seed,
+            keep_outcomes=True,
+        )
+        self.chain = LedgerChain.with_genesis()
+        #: open-ledger pool: tx hash -> transaction awaiting consensus.
+        self.pool: Dict[bytes, Transaction] = {}
+        self.closed_ledgers: List[ClosedLedger] = []
+        #: submissions rejected before reaching the pool, for diagnostics.
+        self.rejected: List[AppliedTransaction] = []
+
+    # Submission -------------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> ApplyCode:
+        """Precheck a transaction and queue it for the next close.
+
+        Mirrors a server's submission path: ``tem``/``tef`` rejections never
+        enter the pool; retryable and fundable transactions wait for
+        consensus.
+        """
+        failure = self.applier._precheck(tx)
+        if failure is not None and not failure.retryable and failure is not (
+            ApplyCode.FUTURE_SEQUENCE
+        ):
+            if failure in (
+                ApplyCode.MALFORMED,
+                ApplyCode.BAD_SIGNATURE,
+                ApplyCode.PAST_SEQUENCE,
+            ):
+                self.rejected.append(AppliedTransaction(tx, failure))
+                return failure
+        self.pool[tx.tx_hash] = tx
+        return ApplyCode.SUCCESS
+
+    @property
+    def pool_size(self) -> int:
+        return len(self.pool)
+
+    # Consensus & close ---------------------------------------------------------------
+
+    def close_ledger(self) -> Optional[ClosedLedger]:
+        """Run one consensus round over the pool and seal the agreed set.
+
+        Returns the closed ledger, or None when the round failed to reach
+        the validation quorum (the pool is retained for the next round).
+        """
+        pool_snapshot = dict(self.pool)
+
+        def tx_supplier(_round, _rng):
+            return frozenset(pool_snapshot.keys())
+
+        report = self.consensus.run(1, tx_supplier=tx_supplier)
+        outcome = report.outcomes[-1]
+        if not outcome.validated:
+            return None
+
+        agreed = [
+            (tx_hash, pool_snapshot[tx_hash])
+            for tx_hash in outcome.validated_tx_set
+            if tx_hash in pool_snapshot
+        ]
+        # Canonical application order: deterministic across all servers.
+        agreed.sort(key=lambda item: item[0])
+
+        applied: List[AppliedTransaction] = []
+        recorded: List[Transaction] = []
+        for pool_key, tx in agreed:
+            # Signed transactions are immutable: their timestamp is the
+            # close time of the page that seals them (exactly how the
+            # paper's study derives the T feature from the public ledger).
+            result = self.applier.apply(tx)
+            applied.append(result)
+            if result.code.applied_to_ledger:
+                recorded.append(tx)
+            self.pool.pop(pool_key, None)
+        # Transactions the network agreed on but we never saw stay pooled
+        # on other servers; transactions left in our pool retry next round.
+
+        page = self.chain.seal(recorded, close_time=outcome.close_time)
+        closed = ClosedLedger(page=page, applied=applied)
+        self.closed_ledgers.append(closed)
+        return closed
+
+    def run(self, rounds: int) -> List[ClosedLedger]:
+        """Close up to ``rounds`` ledgers; skipped rounds retry the pool."""
+        if rounds <= 0:
+            raise ConsensusError("rounds must be positive")
+        closed = []
+        for _ in range(rounds):
+            ledger = self.close_ledger()
+            if ledger is not None:
+                closed.append(ledger)
+        return closed
+
+    # Introspection ----------------------------------------------------------------------
+
+    def transaction_history(self) -> List[Transaction]:
+        """Every transaction recorded in the chain, in order."""
+        return [tx for _page, tx in self.chain.iter_transactions()]
+
+    def apply_outcome_of(self, tx_hash: bytes) -> Optional[AppliedTransaction]:
+        for ledger in self.closed_ledgers:
+            for item in ledger.applied:
+                if item.transaction.tx_hash == tx_hash:
+                    return item
+        return None

@@ -1,0 +1,214 @@
+"""Arbitrage detection and execution across Ripple order books.
+
+Section III-C of the paper: "Ripple users can also try to take advantage of
+the exchange offers, exploiting the price skew between two or more markets.
+This process, called arbitrage, consists in buying assets at a competitive
+exchange rate and then selling them immediately at a higher price.
+Arbitrage is allowed by design ... and can also be performed automatically,
+for example by a financial bot."
+
+This module is that bot: it scans for profitable cycles over the live
+books — two-legged (buy X with XRP, sell X for more XRP) and triangular
+(XRP → X → Y → XRP) — and executes them atomically through the journaled
+executor, so a cycle that dries up mid-flight leaves no trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import OfferError, PaymentError
+from repro.ledger.accounts import AccountID
+from repro.ledger.amounts import DROPS_PER_XRP, Amount
+from repro.ledger.currency import XRP, Currency
+from repro.ledger.state import LedgerState
+from repro.payments.execution import Executor
+
+
+@dataclass(frozen=True)
+class CycleQuote:
+    """A candidate arbitrage cycle and its marginal profitability.
+
+    ``legs`` are (pays, gets) currency pairs walked in order, starting and
+    ending in XRP.  ``rate`` is the XRP multiplier of sending one unit
+    around the cycle at the current best offers: rate > 1 means profit.
+    """
+
+    legs: Tuple[Tuple[str, str], ...]
+    rate: float
+    #: XRP volume executable at the quoted rate (bounded by offer depth).
+    capacity_xrp: float
+
+    @property
+    def profitable(self) -> bool:
+        return self.rate > 1.0
+
+    def label(self) -> str:
+        chain = " -> ".join(["XRP"] + [gets for _pays, gets in self.legs])
+        return f"{chain} (x{self.rate:.4f})"
+
+
+@dataclass
+class ArbitrageResult:
+    """Outcome of one executed cycle."""
+
+    quote: CycleQuote
+    xrp_in: float
+    xrp_out: float
+
+    @property
+    def profit_xrp(self) -> float:
+        return self.xrp_out - self.xrp_in
+
+
+class ArbitrageBot:
+    """Scans books for profitable cycles and executes them atomically."""
+
+    def __init__(self, state: LedgerState, account: AccountID):
+        self.state = state
+        self.account = account
+
+    # Scanning ---------------------------------------------------------------------
+
+    def _best_rate(self, pays: Currency, gets: Currency) -> Optional[Tuple[float, float]]:
+        """(gets per pays, gets-depth) at the best offer of the book."""
+        offers = self.state.book_offers(pays, gets)
+        if not offers:
+            return None
+        best = offers[0]
+        return 1.0 / best.quality, best.taker_gets.to_float()
+
+    def two_leg_quotes(self, currencies: Sequence[Currency]) -> List[CycleQuote]:
+        """XRP -> X -> XRP cycles (buy cheap, sell dear across two books)."""
+        quotes: List[CycleQuote] = []
+        for currency in currencies:
+            if currency == XRP:
+                continue
+            buy = self._best_rate(XRP, currency)   # XRP buys currency
+            sell = self._best_rate(currency, XRP)  # currency buys XRP
+            if buy is None or sell is None:
+                continue
+            buy_rate, buy_depth = buy
+            sell_rate, sell_depth = sell
+            rate = buy_rate * sell_rate
+            capacity = min(buy_depth / max(buy_rate, 1e-12), sell_depth / max(rate, 1e-12))
+            quotes.append(
+                CycleQuote(
+                    legs=(("XRP", currency.code), (currency.code, "XRP")),
+                    rate=rate,
+                    capacity_xrp=capacity,
+                )
+            )
+        return quotes
+
+    def triangular_quotes(self, currencies: Sequence[Currency]) -> List[CycleQuote]:
+        """XRP -> X -> Y -> XRP cycles across three books."""
+        quotes: List[CycleQuote] = []
+        candidates = [c for c in currencies if c != XRP]
+        for first, second in itertools.permutations(candidates, 2):
+            leg1 = self._best_rate(XRP, first)
+            leg2 = self._best_rate(first, second)
+            leg3 = self._best_rate(second, XRP)
+            if leg1 is None or leg2 is None or leg3 is None:
+                continue
+            rate = leg1[0] * leg2[0] * leg3[0]
+            capacity = min(
+                leg1[1] / max(leg1[0], 1e-12),
+                leg2[1] / max(leg1[0] * leg2[0], 1e-12),
+                leg3[1] / max(rate, 1e-12),
+            )
+            quotes.append(
+                CycleQuote(
+                    legs=(
+                        ("XRP", first.code),
+                        (first.code, second.code),
+                        (second.code, "XRP"),
+                    ),
+                    rate=rate,
+                    capacity_xrp=capacity,
+                )
+            )
+        return quotes
+
+    def find_opportunities(
+        self, currencies: Sequence[Currency], include_triangular: bool = True
+    ) -> List[CycleQuote]:
+        """All profitable cycles, best first."""
+        quotes = self.two_leg_quotes(currencies)
+        if include_triangular:
+            quotes.extend(self.triangular_quotes(currencies))
+        profitable = [quote for quote in quotes if quote.profitable]
+        profitable.sort(key=lambda quote: -quote.rate)
+        return profitable
+
+    # Execution ---------------------------------------------------------------------
+
+    def execute(self, quote: CycleQuote, xrp_budget: float) -> ArbitrageResult:
+        """Run one cycle atomically; raises on any shortfall.
+
+        The bot's own XRP pays the first leg; each book leg is filled
+        against the best offer; the final leg returns XRP.  Everything is
+        journaled: a failure rolls the whole cycle back.
+        """
+        volume = min(xrp_budget, quote.capacity_xrp)
+        if volume <= 0:
+            raise PaymentError("no executable volume for this cycle")
+        executor = Executor(self.state)
+        try:
+            holding = volume  # in the currency of the current leg
+            for pays_code, gets_code in quote.legs:
+                pays = Currency(pays_code)
+                gets = Currency(gets_code)
+                offers = self.state.book_offers(pays, gets)
+                if not offers:
+                    raise OfferError(f"book {pays_code}/{gets_code} vanished")
+                best = offers[0]
+                gets_amount = best.max_gets_for(Amount.from_value(pays, holding))
+                if gets_amount.to_float() <= 0:
+                    raise OfferError("offer too small for the cycle volume")
+                pays_amount = executor.fill(best, gets_amount)
+                # Settle the legs against the offer owner's balances: XRP
+                # legs move real XRP; IOU legs are book-internal here (the
+                # bot holds value as book credit between legs).
+                if pays == XRP:
+                    executor.xrp(
+                        self.account,
+                        best.owner,
+                        int(round(pays_amount.to_float() * DROPS_PER_XRP)),
+                    )
+                if gets == XRP:
+                    executor.xrp(
+                        best.owner,
+                        self.account,
+                        int(round(gets_amount.to_float() * DROPS_PER_XRP)),
+                    )
+                holding = gets_amount.to_float()
+        except (OfferError, PaymentError, Exception):
+            executor.rollback()
+            raise
+        executor.commit()
+        return ArbitrageResult(quote=quote, xrp_in=volume, xrp_out=holding)
+
+    def harvest(
+        self,
+        currencies: Sequence[Currency],
+        xrp_budget: float,
+        max_cycles: int = 10,
+    ) -> List[ArbitrageResult]:
+        """Repeatedly execute the best opportunity until the market is
+        efficient (no profitable cycle) or ``max_cycles`` is hit."""
+        results: List[ArbitrageResult] = []
+        for _ in range(max_cycles):
+            opportunities = self.find_opportunities(currencies)
+            if not opportunities:
+                break
+            try:
+                result = self.execute(opportunities[0], xrp_budget)
+            except (OfferError, PaymentError):
+                break
+            if result.profit_xrp <= 0:
+                break
+            results.append(result)
+        return results

@@ -1,0 +1,124 @@
+"""Trust-graph view over ledger state, as seen by the path finder.
+
+For a fixed currency, the credit network induces a directed *payment graph*:
+an edge ``X -> Y`` with positive capacity means X can push IOU value to Y in
+one hop.  Capacity combines the unused limit of Y's trust towards X (new
+debt X can take on towards Y... precisely: debt X takes on *towards Y* is
+recorded on the line where Y is the truster) with any debt Y already owes X
+(which a payment can settle).  This is the structure payments of Fig. 1
+traverse, and what the market-maker-removal study of Table II perturbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.ledger.accounts import AccountID
+from repro.ledger.currency import Currency
+from repro.ledger.state import LedgerState
+
+#: Capacities below this many currency units are treated as dry.
+DUST = 1e-9
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A usable payment hop with its current liquidity."""
+
+    payer: AccountID
+    payee: AccountID
+    capacity: float
+
+
+class TrustGraph:
+    """Read-only payment-graph adapter for one currency.
+
+    The graph is *live*: capacities are recomputed from the underlying
+    :class:`~repro.ledger.state.LedgerState` on each query, so interleaved
+    payments see each other's balance changes — essential for the Table II
+    replay, where earlier payments drain liquidity for later ones.
+    """
+
+    def __init__(self, state: LedgerState, currency: Currency):
+        self.state = state
+        self.currency = currency
+
+    def successors(self, payer: AccountID) -> Iterator[Edge]:
+        """All accounts ``payer`` can push value to, with capacities."""
+        seen: Set[AccountID] = set()
+        # New debt: lines where someone trusts `payer`.
+        for line in self.state.lines_trusting(payer):
+            if line.currency != self.currency:
+                continue
+            capacity = line.available_credit().to_float()
+            # Add settleable debt on the reverse line, if any.
+            reverse = self.state.trust_line(payer, line.truster, self.currency)
+            if reverse is not None:
+                capacity += reverse.balance.to_float()
+            if capacity > DUST:
+                seen.add(line.truster)
+                yield Edge(payer, line.truster, capacity)
+        # Pure settle edges: `payer` holds IOUs of a trustee who doesn't
+        # trust `payer` back.
+        for line in self.state.lines_trusted_by(payer):
+            if line.currency != self.currency or line.trustee in seen:
+                continue
+            capacity = line.balance.to_float()
+            if capacity > DUST:
+                yield Edge(payer, line.trustee, capacity)
+
+    def capacity(self, payer: AccountID, payee: AccountID) -> float:
+        """Liquidity of the single hop ``payer -> payee``."""
+        return self.state.hop_capacity(payer, payee, self.currency)
+
+    def can_relay(self, account: AccountID) -> bool:
+        """Whether value may ripple *through* this account.
+
+        Regular users keep the NoRipple posture: they can be payment
+        endpoints, never intermediaries.  This is what confines routing to
+        the gateway/hub/maker fabric the paper's Fig. 7 profiles.
+        """
+        root = self.state.accounts.get(account)
+        return root is None or root.allows_rippling
+
+    def degree_out(self, account: AccountID) -> int:
+        return sum(1 for _ in self.successors(account))
+
+    def reachable_within(self, source: AccountID, max_hops: int) -> Set[AccountID]:
+        """Accounts reachable from ``source`` in at most ``max_hops`` hops."""
+        frontier = {source}
+        visited = {source}
+        for _ in range(max_hops):
+            nxt: Set[AccountID] = set()
+            for node in frontier:
+                for edge in self.successors(node):
+                    if edge.payee not in visited:
+                        visited.add(edge.payee)
+                        nxt.add(edge.payee)
+            if not nxt:
+                break
+            frontier = nxt
+        visited.discard(source)
+        return visited
+
+
+def path_bottleneck(graph: TrustGraph, path: List[AccountID]) -> float:
+    """Minimum hop capacity along ``path`` (a list of accounts)."""
+    if len(path) < 2:
+        return 0.0
+    return min(
+        graph.capacity(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+
+
+def edges_of(path: List[AccountID]) -> List[Tuple[AccountID, AccountID]]:
+    """Consecutive (payer, payee) pairs of a node path."""
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+
+def adjacency_snapshot(
+    graph: TrustGraph, nodes: List[AccountID]
+) -> Dict[AccountID, List[Edge]]:
+    """Materialize successors for ``nodes`` (used by analysis, not routing)."""
+    return {node: list(graph.successors(node)) for node in nodes}

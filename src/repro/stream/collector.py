@@ -1,0 +1,77 @@
+"""Recording validation-stream data over a collection period.
+
+The collector is the paper's data-gathering half: it subscribes to a
+:class:`~repro.stream.server.StreamServer`, stores every event that falls
+inside its collection window, and offers the aggregations the robustness
+study needs — per-validator signature counts and the page hashes each
+validator vouched for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import StreamError
+from repro.stream.events import StreamEvent
+
+
+@dataclass
+class StreamCollector:
+    """Accumulates stream events within an optional time window."""
+
+    #: Inclusive collection window in stream time; None = unbounded.
+    window_start: Optional[int] = None
+    window_end: Optional[int] = None
+    events: List[StreamEvent] = field(default_factory=list)
+
+    def __call__(self, event: StreamEvent) -> None:
+        self.record(event)
+
+    def record(self, event: StreamEvent) -> None:
+        if self.window_start is not None and event.received_at < self.window_start:
+            return
+        if self.window_end is not None and event.received_at > self.window_end:
+            return
+        self.events.append(event)
+
+    # Aggregations --------------------------------------------------------------
+
+    def validators_seen(self) -> List[str]:
+        """Every distinct validator observed, sorted."""
+        return sorted({event.validator for event in self.events})
+
+    def pages_by_validator(self) -> Dict[str, List[bytes]]:
+        """All page hashes each validator signed (with multiplicity)."""
+        out: Dict[str, List[bytes]] = {}
+        for event in self.events:
+            out.setdefault(event.validator, []).append(event.page_hash)
+        return out
+
+    def total_counts(self) -> Dict[str, int]:
+        """Signed-page count per validator (the 'Total pages' bars)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.validator] = counts.get(event.validator, 0) + 1
+        return counts
+
+    def valid_counts(self, main_chain_hashes: Iterable[bytes]) -> Dict[str, int]:
+        """Per-validator count of signatures on main-ledger pages.
+
+        ``main_chain_hashes`` are the fully validated page hashes the
+        collector later reads from the public ledger — the comparison the
+        paper performs to separate 'total' from 'valid' pages.
+        """
+        valid: Set[bytes] = set(main_chain_hashes)
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            if event.page_hash in valid:
+                counts[event.validator] = counts.get(event.validator, 0) + 1
+        return counts
+
+    def require_data(self) -> None:
+        if not self.events:
+            raise StreamError("collector recorded no events")
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,48 @@
+"""Events carried by the validation stream.
+
+A subscriber to rippled's ``validations`` stream receives one message per
+validation signature a server hears on the overlay network.  The stream is
+the paper's measurement instrument: unlike the ledger itself (which stores
+no validator information), the stream exposes who signed what, when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.proposals import Validation
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One message observed on the validation stream.
+
+    ``received_at`` is the collector's local receive time (stream events
+    arrive with network delay after the validator's ``sign_time``).
+    """
+
+    validation: Validation
+    received_at: int
+
+    @property
+    def validator(self) -> str:
+        return self.validation.validator
+
+    @property
+    def page_hash(self) -> bytes:
+        return self.validation.page_hash
+
+    @property
+    def sequence(self) -> int:
+        return self.validation.sequence
+
+    def to_record(self) -> dict:
+        """Flat dict form, convenient for columnar analysis."""
+        return {
+            "validator": self.validation.validator,
+            "sequence": self.validation.sequence,
+            "page_hash": self.validation.page_hash.hex(),
+            "sign_time": self.validation.sign_time,
+            "received_at": self.received_at,
+            "signed": self.validation.signature is not None,
+        }

@@ -1,0 +1,285 @@
+"""The three collection periods of the robustness study (Section IV).
+
+The paper captured the validation stream for the first two weeks of
+December 2015, July 2016, and November 2016.  Each period saw a different
+validator population; the rosters below reproduce the population *structure*
+reported in Fig. 2 and the surrounding text:
+
+* **Dec 2015** — R1–R5 plus 29 others: 3 active unidentified validators, 5
+  strugglers with a very small fraction of valid pages, and 21 validators
+  with zero valid pages (private ledgers or hopeless latency).
+* **Jul 2016** — R1–R5 plus 28 others: 10 actives comparable to R1–R5
+  (bougalis.net ×2, freewallet1/2.net, mduo13.com, youwant.to, and
+  unidentified keys), and 5 ``testnet.ripple.com`` servers signing ~200k
+  pages of a parallel instance, none valid on the main net.
+* **Nov 2016** — R1–R5 plus 34 others: only 8 actives; freewallet1/2.net
+  collapsed to <10 % of their July participation, one bougalis.net server
+  disappeared and the other stayed for only ~6 % of the period; the 5
+  test-net servers persisted.
+
+Exactly nine validators (R1–R5 plus four ``n9...`` keys) are active in all
+three periods, matching the churn finding; validator labels are taken from
+the paper's figures.
+
+A real two-week period is ~242k ledger closes (one per 5 s).  Simulations
+run a scaled-down round count (default 1/48 ≈ 5k rounds) and report the
+scale factor, since the paper's claims are about *shape* — who signs, and
+whose pages validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.consensus.engine import CLOSE_INTERVAL_SECONDS
+from repro.consensus.faults import (
+    ValidatorProfile,
+    active,
+    forked,
+    lagging,
+    offline,
+    windowed,
+)
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+
+#: Ledger closes in two weeks at one close per 5 seconds.
+ROUNDS_PER_TWO_WEEKS = 14 * 24 * 3600 // CLOSE_INTERVAL_SECONDS
+#: Default simulation scale (fraction of the full two weeks).
+DEFAULT_SCALE = 1.0 / 48.0
+
+RIPPLE_LABS = ("R1", "R2", "R3", "R4", "R5")
+#: The four non-Ripple keys active in every period (churn anchor).
+PERSISTENT_ACTIVE = (
+    "n9KDJn...Q7KhQ2",
+    "n9KDWe...aFsVox",
+    "n9L6Xc...tzbS3G",
+    "n9Mb8Z...aKiCnD",
+)
+
+
+@dataclass(frozen=True)
+class PeriodSpec:
+    """A named collection period and its validator population."""
+
+    key: str
+    label: str
+    #: name -> profile for every non-Ripple-Labs validator observed.
+    roster: Dict[str, ValidatorProfile]
+    #: which validators (including R1–R5) anchor the master UNL.
+    trusted: Tuple[str, ...]
+
+    def validator_names(self) -> List[str]:
+        return list(RIPPLE_LABS) + sorted(self.roster)
+
+    def observed_count(self) -> int:
+        """Validators observed beyond R1–R5 (the paper's '29'/'28'/'34')."""
+        return len(self.roster)
+
+    def build_validators(self, rounds: int) -> List[Validator]:
+        """Materialize the roster for a run of ``rounds`` rounds.
+
+        Profiles whose presence windows are expressed as fractions get
+        resolved against the actual round count here.
+        """
+        trusted_unl = UNL.of(self.trusted)
+        validators = [
+            Validator(name, trusted_unl, active(availability=0.985), is_ripple_labs=True)
+            for name in RIPPLE_LABS
+        ]
+        for name in sorted(self.roster):
+            profile = self.roster[name]
+            if profile.presence is not None:
+                start_fraction, end_fraction = profile.presence
+                profile = windowed(
+                    profile,
+                    int(start_fraction / 1000.0 * rounds),
+                    int(end_fraction / 1000.0 * rounds),
+                )
+            unl = (
+                UNL.of([name])
+                if profile.network_id != 0
+                else trusted_unl
+            )
+            validators.append(Validator(name, unl, profile))
+        # Test-net/forked validators share their instance's UNL.
+        by_network: Dict[int, List[str]] = {}
+        for validator in validators:
+            if validator.network_id != 0:
+                by_network.setdefault(validator.network_id, []).append(validator.name)
+        for validator in validators:
+            if validator.network_id != 0:
+                validator.unl = UNL.of(by_network[validator.network_id])
+        return validators
+
+    def master_unl(self) -> UNL:
+        return UNL.of(self.trusted)
+
+
+def _fraction_window(start_permille: int, end_permille: int, profile: ValidatorProfile) -> ValidatorProfile:
+    """Tag a profile with a presence window in permille of the period.
+
+    Resolved to concrete rounds by :meth:`PeriodSpec.build_validators`.
+    """
+    return ValidatorProfile(
+        behaviour=profile.behaviour,
+        availability=profile.availability,
+        sync_quality=profile.sync_quality,
+        network_id=profile.network_id,
+        presence=(start_permille, end_permille),
+    )
+
+
+def _december_2015() -> PeriodSpec:
+    roster: Dict[str, ValidatorProfile] = {}
+    # Three active unidentified contributors.
+    for name in ("n9KDJn...Q7KhQ2", "n9KDWe...aFsVox", "n9L6Xc...tzbS3G"):
+        roster[name] = active(availability=0.93)
+    # Five strugglers: present, almost never in sync.
+    for name in (
+        "n9Mb8Z...aKiCnD",
+        "n9KsiC...nWfDbS",
+        "n9Kewx...VWJ4xP",
+        "n9MKk7...F4SG8T",
+        "n9MabQ...M3BzeL",
+    ):
+        roster[name] = lagging(availability=0.45, sync_quality=0.05)
+    # Twenty-one validators with zero valid pages: fourteen on private
+    # ledger instances, seven hopelessly out of sync.
+    private = [
+        "mycooldomain.com",
+        "xagate.com",
+        "n94a8g...endSoo",
+        "n94aaY...RjEhVa",
+        "n9JbRC...nfAF1o",
+        "n9K4vf...7FUDUu",
+        "n9KkJS...L7aGM9",
+        "n9L21J...KXMxyZ",
+        "n9LD3q...SdAjfC",
+        "n9LFrq...2N4tqt",
+        "n9LWm9...uBXfEH",
+        "n9LXgn...VfrY42",
+        "n9LsfY...9yuez6",
+        "n9M15o...2Fct7s",
+    ]
+    for index, name in enumerate(private):
+        roster[name] = forked(network_id=2 + index % 3, availability=0.7)
+    for name in (
+        "n9M3WR...C3qjsR",
+        "n9M4pt...vFuyDP",
+        "n9MLVG...j21tX3",
+        "n9MQeS...quKwzA",
+        "n9MfTP...fHrELR",
+        "n9Mjcq...4ZkRgp",
+        "n9MoY1...MjPjd4",
+    ):
+        roster[name] = lagging(availability=0.35, sync_quality=0.0)
+    return PeriodSpec(
+        key="dec2015",
+        label="First half of December 2015",
+        roster=roster,
+        trusted=RIPPLE_LABS
+        + ("n9KDJn...Q7KhQ2", "n9KDWe...aFsVox", "n9L6Xc...tzbS3G"),
+    )
+
+
+def _july_2016() -> PeriodSpec:
+    roster: Dict[str, ValidatorProfile] = {}
+    actives = (
+        "bougalis.net",
+        "bougalis.net#2",
+        "freewallet1.net",
+        "freewallet2.net",
+        "mduo13.com",
+        "youwant.to",
+    ) + PERSISTENT_ACTIVE
+    for name in actives:
+        roster[name] = active(availability=0.9)
+    for index in range(1, 6):
+        roster[f"testnet.ripple.com#{index}"] = forked(network_id=1, availability=0.88)
+    for name in ("rippled.media.mit.edu", "rippled.mr.exchange"):
+        roster[name] = lagging(availability=0.5, sync_quality=0.1)
+    for name in (
+        "n9JYcW...ztYoFP",
+        "n9KsiC...nWfDbS",
+        "n9KwAL...YgCEag",
+        "n9LiYQ...AHKqhh",
+        "n9LxcZ...BniGHJ",
+        "n9Lxmk...TgbQ3E",
+        "n9MGPp...eLsX2X",
+        "n9MHcZ...kdi37U",
+        "n9ML3u...ZW3J3M",
+        "n9MabQ...M3BzeL",
+        "n9Mi2w...eG1ABs",
+    ):
+        roster[name] = offline(availability=0.08)
+    return PeriodSpec(
+        key="jul2016",
+        label="First half of July 2016",
+        roster=roster,
+        trusted=RIPPLE_LABS + actives,
+    )
+
+
+def _november_2016() -> PeriodSpec:
+    roster: Dict[str, ValidatorProfile] = {}
+    actives = (
+        "youwant.to",
+        "duke67.com",
+        "awsstatic.com/fin-serv",
+        "n9KwAL...YgCEag",
+    ) + PERSISTENT_ACTIVE
+    for name in actives:
+        roster[name] = active(availability=0.9)
+    # freewallet1/2 collapsed to an order of magnitude fewer pages.
+    roster["freewallet1.net"] = active(availability=0.85)
+    roster["freewallet1.net"] = _fraction_window(0, 80, roster["freewallet1.net"])
+    roster["freewallet2.net"] = _fraction_window(0, 75, active(availability=0.85))
+    # One bougalis.net disappeared; the other stayed ~6 % of the period.
+    roster["bougalis.net"] = _fraction_window(0, 62, active(availability=0.95))
+    for index in range(1, 6):
+        roster[f"testnet.ripple.com#{index}"] = forked(network_id=1, availability=0.88)
+    for name in ("rippled.media.mit.edu", "rippled.mr.exchange", "paleorbglow.com"):
+        roster[name] = lagging(availability=0.45, sync_quality=0.08)
+    for name in (
+        "n94RVq...zYLazo",
+        "n94rRX...QSpVQM",
+        "n9J2fT...rK2ymG",
+        "n9Jt1u...9fpxMz",
+        "n9K6Yb...xsMTuo",
+        "n9KTpi...avNAUX",
+        "n9Kewx...VWJ4xP",
+        "n9Kszs...tRmcav",
+        "n9KvK2...pzssZL",
+        "n9LiYQ...AHKqhh",
+        "n9MH5P...3Zs1ky",
+        "n9MHog...SYqH9c",
+        "n9MKk7...F4SG8T",
+        "n9MbL5...rwSuXm",
+        "n9Mm3t...nQWpg7",
+    ):
+        roster[name] = offline(availability=0.06)
+    return PeriodSpec(
+        key="nov2016",
+        label="First half of November 2016",
+        roster=roster,
+        trusted=RIPPLE_LABS + actives,
+    )
+
+
+#: All three collection periods, in chronological order.
+PERIODS: Tuple[PeriodSpec, ...] = (_december_2015(), _july_2016(), _november_2016())
+
+
+def period(key: str) -> PeriodSpec:
+    """Look up a period by key ('dec2015', 'jul2016', 'nov2016')."""
+    for spec in PERIODS:
+        if spec.key == key:
+            return spec
+    raise KeyError(f"unknown collection period {key!r}")
+
+
+def rounds_for_scale(scale: float = DEFAULT_SCALE) -> int:
+    """Number of simulated rounds for a fraction of the two-week period."""
+    return max(1, int(ROUNDS_PER_TWO_WEEKS * scale))

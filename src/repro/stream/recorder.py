@@ -1,0 +1,100 @@
+"""Persisting validation-stream captures to disk and replaying them.
+
+The paper's measurement spanned three separate two-week periods months
+apart — the captures were necessarily stored and analysed offline.  This
+module provides that artifact boundary for stream data, symmetric to
+:mod:`repro.analysis.archive` for ledger data: events stream to a JSONL
+file as they arrive, and a stored capture replays into any subscriber
+(e.g. a fresh :class:`~repro.stream.collector.StreamCollector`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Callable, Iterator, Optional
+
+from repro.consensus.proposals import Validation
+from repro.errors import StreamError
+from repro.stream.events import StreamEvent
+
+CAPTURE_VERSION = 1
+
+
+class StreamRecorder:
+    """A subscriber that appends every event to a JSONL capture file."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[IO[str]] = None
+        self.events_written = 0
+
+    def __enter__(self) -> "StreamRecorder":
+        self.open()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def open(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps({"version": CAPTURE_VERSION}) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __call__(self, event: StreamEvent) -> None:
+        if self._handle is None:
+            raise StreamError("recorder is not open")
+        payload = {
+            "v": event.validation.validator,
+            "q": event.validation.sequence,
+            "h": event.validation.page_hash.hex(),
+            "t": event.validation.sign_time,
+            "r": event.received_at,
+        }
+        self._handle.write(json.dumps(payload) + "\n")
+        self.events_written += 1
+
+
+def iter_capture(path: str) -> Iterator[StreamEvent]:
+    """Stream events back out of a capture file."""
+    if not os.path.exists(path):
+        raise StreamError(f"capture not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError:
+            raise StreamError("capture has no valid header") from None
+        if header.get("version") != CAPTURE_VERSION:
+            raise StreamError(f"unsupported capture version {header.get('version')!r}")
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            yield StreamEvent(
+                validation=Validation(
+                    validator=payload["v"],
+                    sequence=int(payload["q"]),
+                    page_hash=bytes.fromhex(payload["h"]),
+                    sign_time=int(payload["t"]),
+                ),
+                received_at=int(payload["r"]),
+            )
+
+
+def replay_capture(
+    path: str, subscriber: Callable[[StreamEvent], None]
+) -> int:
+    """Feed a stored capture into ``subscriber``; returns events replayed."""
+    count = 0
+    for event in iter_capture(path):
+        subscriber(event)
+        count += 1
+    return count

@@ -1,0 +1,66 @@
+"""The simulated rippled server exposing the validation stream.
+
+The paper's authors "set up a Ripple server that made use of the Ripple's
+validation stream to capture and store" consensus data.  Our equivalent is
+``StreamServer``: it attaches to a :class:`~repro.consensus.engine.
+ConsensusEngine` as a validation observer, adds receive-side delay, and fans
+events out to any number of subscribers (the collector among them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.proposals import Validation
+from repro.errors import StreamError
+from repro.stream.events import StreamEvent
+
+Subscriber = Callable[[StreamEvent], None]
+
+
+@dataclass
+class StreamServer:
+    """Relays validations from the consensus overlay to subscribers."""
+
+    #: Mean network delay (seconds) between signing and stream delivery.
+    mean_delay: float = 1.0
+    #: Probability an individual validation never reaches this server —
+    #: stream capture is lossy at the edges, as any overlay gossip is.
+    loss_rate: float = 0.002
+    seed: int = 0
+    _subscribers: List[Subscriber] = field(default_factory=list)
+    _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    relayed: int = 0
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self._subscribers.append(subscriber)
+
+    def attach(self, engine: ConsensusEngine) -> None:
+        """Start relaying the engine's validations to subscribers."""
+        engine.subscribe(self.on_validation)
+
+    def on_validation(self, validation: Validation) -> None:
+        """Engine callback: deliver one validation, with delay and loss."""
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return
+        delay = max(0.0, self._rng.exponential(self.mean_delay))
+        event = StreamEvent(
+            validation=validation,
+            received_at=validation.sign_time + int(round(delay)),
+        )
+        self.relayed += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def require_subscribers(self) -> None:
+        if not self._subscribers:
+            raise StreamError("stream server has no subscribers")

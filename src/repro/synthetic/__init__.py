@@ -1,0 +1,92 @@
+"""The synthetic Ripple economy — stand-in for the 500 GB ledger download.
+
+Actor models, calibrated workload composition, per-currency amount
+distributions, the spam campaigns the paper documents, and a generator that
+executes the whole history through the real payment engine.
+"""
+
+from repro.synthetic.actors import Cast, Gateway, MarketMaker, User, build_cast
+from repro.synthetic.config import (
+    CURRENCY_SHARES,
+    EconomyConfig,
+    TAIL_CURRENCIES,
+    small_config,
+)
+from repro.synthetic.distributions import (
+    AmountModel,
+    model_for,
+    sample_amounts,
+    survival_function,
+)
+from repro.synthetic.generator import (
+    LedgerHistoryGenerator,
+    SyntheticHistory,
+    generate_history,
+)
+from repro.synthetic.scenarios import (
+    NoSpamEconomyConfig,
+    build_no_spam,
+    dense_makers_config,
+    late_era_config,
+    no_spam_config,
+)
+from repro.synthetic.records import (
+    ALL_KINDS,
+    KIND_CCK,
+    KIND_FIAT,
+    KIND_LONG_SPAM,
+    KIND_MTL_SPAM,
+    KIND_SPIN,
+    KIND_XRP,
+    KIND_ZERO,
+    OfferRecord,
+    ReplayIntent,
+    TransactionRecord,
+    TrustEvent,
+)
+from repro.synthetic.workload import (
+    PaymentSlot,
+    build_schedule,
+    payment_counts,
+    zipf_maker_weights,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "NoSpamEconomyConfig",
+    "build_no_spam",
+    "dense_makers_config",
+    "late_era_config",
+    "no_spam_config",
+    "AmountModel",
+    "CURRENCY_SHARES",
+    "Cast",
+    "EconomyConfig",
+    "Gateway",
+    "KIND_CCK",
+    "KIND_FIAT",
+    "KIND_LONG_SPAM",
+    "KIND_MTL_SPAM",
+    "KIND_SPIN",
+    "KIND_XRP",
+    "KIND_ZERO",
+    "LedgerHistoryGenerator",
+    "MarketMaker",
+    "OfferRecord",
+    "PaymentSlot",
+    "ReplayIntent",
+    "SyntheticHistory",
+    "TAIL_CURRENCIES",
+    "TransactionRecord",
+    "TrustEvent",
+    "User",
+    "build_cast",
+    "build_schedule",
+    "generate_history",
+    "model_for",
+    "payment_counts",
+    "sample_amounts",
+    "small_config",
+    "survival_function",
+    "zipf_maker_weights",
+]

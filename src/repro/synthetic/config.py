@@ -1,0 +1,139 @@
+"""Configuration of the synthetic Ripple economy.
+
+Every knob that calibrates the generator against the paper's reported
+statistics lives here, with the paper's numbers cited next to each default.
+Scaling down is uniform: the default run produces ~10^5 payments instead of
+the paper's 23.4M, with the *relative* composition preserved.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import SyntheticError
+from repro.ledger.transactions import to_ripple_time
+
+#: System genesis and the end of the studied window (Jan 2013 – Sep 2015).
+HISTORY_START = _dt.datetime(2013, 1, 1, tzinfo=_dt.timezone.utc)
+HISTORY_END = _dt.datetime(2015, 9, 30, tzinfo=_dt.timezone.utc)
+#: Launch of the ~Ripple Spin gambling service (paper: "launched in 2015").
+RIPPLE_SPIN_LAUNCH = _dt.datetime(2015, 1, 15, tzinfo=_dt.timezone.utc)
+#: Table II snapshot ("the status of Ripple in February 2015") and the end
+#: of the replayed window (August 2015).
+SNAPSHOT_TIME = _dt.datetime(2015, 2, 1, tzinfo=_dt.timezone.utc)
+REPLAY_END = _dt.datetime(2015, 8, 31, tzinfo=_dt.timezone.utc)
+
+#: Payment-count share per currency, calibrated to Fig. 4: XRP 49 %, MTL
+#: ~14 % (3.3M of 23M), CCK second-most-used, BTC 4.7 %, USD 3.8 %,
+#: CNY 3.3 %, JPY 2.1 %, EUR 0.4 %, then a long tail.
+CURRENCY_SHARES: Dict[str, float] = {
+    "XRP": 0.49,
+    "CCK": 0.155,
+    "MTL": 0.143,
+    "BTC": 0.047,
+    "USD": 0.038,
+    "CNY": 0.033,
+    "JPY": 0.021,
+    "EUR": 0.004,
+}
+
+#: Tail currencies from Fig. 4's x-axis; they share the remaining mass
+#: with geometrically decaying weights.
+TAIL_CURRENCIES: Tuple[str, ...] = (
+    "SFO", "DVC", "GWD", "RSC", "ICE", "STR", "GKO", "KRW", "TRC", "LTC",
+    "CAD", "FMM", "MXN", "XNT", "CXN", "FBR", "DNX", "WTC", "ILS", "DOG",
+    "GBP", "XEC", "NZD", "LWT", "NXT", "YOU", "ONC", "TBC", "CSC", "MRH",
+    "SWD", "AUD", "NMC", "CTC", "PCV", "IOU", "LIK", "UKN", "RES", "JED",
+    "VTC", "RJP",
+)
+
+
+@dataclass(frozen=True)
+class EconomyConfig:
+    """Sizes and behavioural shares of the synthetic economy."""
+
+    seed: int = 20170652  # the paper's DOI suffix
+    #: Total payments to generate (paper: 23.4M; default scale ~1/300).
+    n_payments: int = 80_000
+    #: Regular users (paper: 165k registered / 55k active).
+    n_users: int = 1_200
+    #: Gateways (the paper identifies ~20 among the top-50 hubs).
+    n_gateways: int = 20
+    #: Market makers (paper: top-100 place 87 % of 90M offers).
+    n_market_makers: int = 120
+    #: Exchange offers to generate (paper: ~90M; same 1/300-ish scale).
+    n_offers: int = 300_000
+    #: Zipf exponent for offer placement concentration; together with the
+    #: one-off user-offer tail this calibrates the top 10/50/100 makers to
+    #: ≈50/75/87 % of offers.
+    offer_zipf_exponent: float = 1.0
+
+    # Behavioural shares within the XRP payment mass (fractions of *XRP*
+    # payments, per the appendix: ~10 % to ~Ripple Spin, ~9 % to
+    # ACCOUNT_ZERO spam).
+    ripple_spin_share: float = 0.10
+    account_zero_share: float = 0.09
+
+    #: Share of non-XRP, non-spam IOU payments that are cross-currency
+    #: (paper, Table II window: 68.7 %).
+    cross_currency_share: float = 0.687
+
+    #: MTL spam path shape (paper: exactly 8 intermediate hops, 6 parallel
+    #: paths, forced).
+    mtl_spam_hops: int = 8
+    mtl_spam_parallel_paths: int = 6
+
+    #: Growth exponent of the payment arrival process: timestamps follow
+    #: t ∝ u^growth with u uniform, so the rate grows over the 3 years.
+    growth: float = 0.6
+
+    #: Fraction of history (by payment index) at which the Table II
+    #: snapshot is taken.  Derived from SNAPSHOT_TIME against the growth
+    #: curve at generation time.
+    start_time: int = to_ripple_time(HISTORY_START)
+    end_time: int = to_ripple_time(HISTORY_END)
+    spin_launch_time: int = to_ripple_time(RIPPLE_SPIN_LAUNCH)
+    snapshot_time: int = to_ripple_time(SNAPSHOT_TIME)
+    replay_end_time: int = to_ripple_time(REPLAY_END)
+
+    #: XRP funding per account at activation, in drops.
+    activation_drops: int = 200 * 10 ** 6
+
+    def __post_init__(self) -> None:
+        if self.n_payments <= 0:
+            raise SyntheticError("n_payments must be positive")
+        if self.n_users < 10:
+            raise SyntheticError("need at least 10 users")
+        if self.n_gateways < 2:
+            raise SyntheticError("need at least 2 gateways")
+        if self.n_market_makers < 1:
+            raise SyntheticError("need at least 1 market maker")
+        if not 0 < self.growth <= 1:
+            raise SyntheticError("growth must be in (0, 1]")
+        if self.end_time <= self.start_time:
+            raise SyntheticError("history must have positive duration")
+
+    def currency_weights(self) -> Dict[str, float]:
+        """Full payment-share map including the geometric tail."""
+        weights = dict(CURRENCY_SHARES)
+        remaining = 1.0 - sum(weights.values())
+        decay = 0.88
+        raw = [decay ** index for index in range(len(TAIL_CURRENCIES))]
+        total = sum(raw)
+        for code, mass in zip(TAIL_CURRENCIES, raw):
+            weights[code] = remaining * mass / total
+        return weights
+
+
+def small_config(seed: int = 7, n_payments: int = 4_000) -> EconomyConfig:
+    """A fast configuration for unit tests."""
+    return EconomyConfig(
+        seed=seed,
+        n_payments=n_payments,
+        n_users=220,
+        n_gateways=8,
+        n_market_makers=30,
+        n_offers=20_000,
+    )

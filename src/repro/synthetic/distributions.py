@@ -1,0 +1,132 @@
+"""Per-currency payment-amount distributions.
+
+Fig. 5 of the paper shows very different amount profiles per currency:
+BTC and CCK payments are micro-amounts (BTC is worth hundreds of EUR);
+EUR and USD have remarkably similar mid-range curves; XRP spans a huge
+range; and MTL payments cluster around 10^9 — the spam signature.
+
+Real payments also repeat *price points* (a latte costs 4.50 every day),
+which is what makes the amount field a weak identifier on its own
+(⟨Am,−,C,D⟩ drops to ~49 % in Fig. 3).  Each sampler therefore mixes a
+log-normal body with a set of common price points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.ledger.currency import Currency
+
+
+@dataclass(frozen=True)
+class AmountModel:
+    """A mixture of common price points and a log-normal body.
+
+    ``price_points``     — frequently recurring amounts (menu prices,
+                           round transfers) and their selection weight.
+    ``log_mu/log_sigma`` — parameters of the log-normal body.
+    ``point_share``      — probability a payment uses a price point.
+    """
+
+    log_mu: float
+    log_sigma: float
+    price_points: Tuple[float, ...] = ()
+    point_share: float = 0.0
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        body = rng.lognormal(self.log_mu, self.log_sigma, size)
+        if self.price_points and self.point_share > 0:
+            use_point = rng.random(size) < self.point_share
+            points = rng.choice(np.array(self.price_points), size=size)
+            body = np.where(use_point, points, body)
+        return body
+
+
+#: Fig. 5-calibrated models.  log_mu is ln(median).
+AMOUNT_MODELS: Dict[str, AmountModel] = {
+    # XRP spans micro-tips to huge spam transfers.
+    "XRP": AmountModel(
+        log_mu=np.log(50.0),
+        log_sigma=2.6,
+        price_points=(1.0, 10.0, 20.0, 100.0, 1000.0),
+        point_share=0.25,
+    ),
+    # BTC is strong: most payments are small fractions.
+    "BTC": AmountModel(
+        log_mu=np.log(0.03),
+        log_sigma=1.8,
+        price_points=(0.001, 0.01, 0.1, 1.0),
+        point_share=0.2,
+    ),
+    # CCK mimics BTC's micro-transaction profile (paper, Fig. 5).
+    "CCK": AmountModel(
+        log_mu=np.log(0.02),
+        log_sigma=1.4,
+        price_points=(0.001, 0.01, 0.05),
+        point_share=0.35,
+    ),
+    # MTL spam: enormous amounts around 1e9.
+    "MTL": AmountModel(log_mu=np.log(1.0e9), log_sigma=0.25),
+    # EUR and USD deliberately share parameters — their survival curves
+    # are "remarkably similar" in the paper.
+    "USD": AmountModel(
+        log_mu=np.log(40.0),
+        log_sigma=1.9,
+        price_points=(4.5, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0),
+        point_share=0.3,
+    ),
+    "EUR": AmountModel(
+        log_mu=np.log(40.0),
+        log_sigma=1.9,
+        price_points=(4.5, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0),
+        point_share=0.3,
+    ),
+    "CNY": AmountModel(
+        log_mu=np.log(200.0),
+        log_sigma=1.9,
+        price_points=(10.0, 50.0, 100.0, 1000.0),
+        point_share=0.25,
+    ),
+    "JPY": AmountModel(
+        log_mu=np.log(4000.0),
+        log_sigma=1.8,
+        price_points=(1000.0, 5000.0, 10000.0),
+        point_share=0.25,
+    ),
+}
+
+#: Fallback for tail currencies, scaled by rough unit value.
+_DEFAULT_MODEL = AmountModel(
+    log_mu=np.log(25.0), log_sigma=1.7, price_points=(1.0, 10.0, 100.0), point_share=0.2
+)
+
+
+def model_for(currency: Currency) -> AmountModel:
+    return AMOUNT_MODELS.get(currency.code, _DEFAULT_MODEL)
+
+
+def sample_amounts(
+    currency: Currency, rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Draw ``size`` payment amounts for ``currency``.
+
+    Amounts are truncated to the ledger's 10^-6 precision and floored at
+    one millionth (a zero-amount payment is invalid).
+    """
+    values = model_for(currency).sample(rng, size)
+    values = np.round(values, 6)
+    return np.maximum(values, 1e-6)
+
+
+def survival_function(
+    amounts: Sequence[float], grid: Sequence[float]
+) -> np.ndarray:
+    """P(amount > x) evaluated on ``grid`` — the curves of Fig. 5."""
+    data = np.sort(np.asarray(amounts, dtype=float))
+    if data.size == 0:
+        return np.zeros(len(grid))
+    positions = np.searchsorted(data, np.asarray(grid), side="right")
+    return 1.0 - positions / data.size

@@ -1,0 +1,131 @@
+"""Flat transaction records — the synthetic equivalent of the ledger dump.
+
+The paper's pipeline extracts, for each of the 23M payments, the sender,
+amount, timestamp, currency, and destination (Section V-A), plus the path
+structure used by the appendix analyses.  ``TransactionRecord`` carries
+exactly that: one record per payment, as if parsed out of the 500 GB ledger
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.ledger.accounts import AccountID
+
+#: Payment kinds, used by the generator and filtered on by analyses.
+KIND_XRP = "xrp"
+KIND_SPIN = "spin"
+KIND_ZERO = "zero"
+KIND_CCK = "cck"
+KIND_FIAT = "fiat"
+KIND_MTL_SPAM = "mtl_spam"
+KIND_LONG_SPAM = "long_spam"
+
+ALL_KINDS = (
+    KIND_XRP,
+    KIND_SPIN,
+    KIND_ZERO,
+    KIND_CCK,
+    KIND_FIAT,
+    KIND_MTL_SPAM,
+    KIND_LONG_SPAM,
+)
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One payment as read back from the (synthetic) public ledger."""
+
+    __slots__ = (
+        "index",
+        "timestamp",
+        "sender",
+        "destination",
+        "currency",
+        "amount",
+        "is_xrp_direct",
+        "cross_currency",
+        "intermediate_hops",
+        "parallel_paths",
+        "intermediaries",
+        "delivered",
+        "kind",
+    )
+
+    index: int
+    #: Ripple-epoch seconds of the sealing page's close time.
+    timestamp: int
+    sender: AccountID
+    destination: AccountID
+    #: three-letter currency code of the delivered amount.
+    currency: str
+    #: delivered amount, at the ledger's 1e-6 precision.
+    amount: float
+    is_xrp_direct: bool
+    cross_currency: bool
+    intermediate_hops: int
+    parallel_paths: int
+    intermediaries: Tuple[AccountID, ...]
+    delivered: bool
+    kind: str
+
+    @property
+    def is_multi_hop(self) -> bool:
+        """True for the 10M-payment class of Fig. 6 (at least one
+        intermediate node on the trust path)."""
+        return self.delivered and not self.is_xrp_direct and self.intermediate_hops >= 1
+
+
+@dataclass(frozen=True)
+class OfferRecord:
+    """One exchange-offer placement (who placed it, and when)."""
+
+    __slots__ = ("owner", "timestamp")
+
+    owner: AccountID
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class ReplayIntent:
+    """A post-snapshot payment, re-submittable for the Table II replay."""
+
+    __slots__ = (
+        "timestamp",
+        "sender",
+        "receiver",
+        "amount",
+        "currency",
+        "spend_currency",
+        "kind",
+    )
+
+    timestamp: int
+    sender: AccountID
+    receiver: AccountID
+    amount: float
+    currency: str
+    #: currency the sender spends (== currency for single-currency payments).
+    spend_currency: str
+    kind: str
+
+    @property
+    def is_cross_currency(self) -> bool:
+        return self.spend_currency != self.currency
+
+
+@dataclass(frozen=True)
+class TrustEvent:
+    """A post-snapshot trust-line creation/update, replayed before the
+    payments that follow it (the paper 'reflected in the modified trust
+    network the updates happening on the real system to trust-lines')."""
+
+    __slots__ = ("timestamp", "truster", "trustee", "currency", "limit")
+
+    timestamp: int
+    truster: AccountID
+    trustee: AccountID
+    currency: str
+    limit: float

@@ -1,0 +1,112 @@
+"""Alternative economy scenarios, for ablations and what-if studies.
+
+The default :class:`~repro.synthetic.config.EconomyConfig` mirrors the
+paper's measured Ripple.  The scenarios here change one structural thing at
+a time, so analyses can attribute results to causes:
+
+* **no_spam** — the counterfactual Ripple without the CCK swarm, the MTL
+  campaign, and the ACCOUNT_ZERO/gambling flows: what would Figs. 4-6 have
+  looked like if nobody had attacked the ledger?
+* **late_era** — only the mature period (2015): the system after its
+  growth phase, when spam had subsided.
+* **dense_makers** — twice the market makers with flatter concentration:
+  how much less fragile does Table II get when liquidity provision is
+  decentralized?
+
+Every scenario is an honest re-parameterization of the same generator —
+nothing is post-processed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from typing import Dict
+
+from repro.ledger.transactions import to_ripple_time
+from repro.synthetic.config import CURRENCY_SHARES, EconomyConfig
+
+
+def no_spam_config(base: EconomyConfig = None) -> EconomyConfig:
+    """The economy with every crafted flow removed.
+
+    CCK and MTL mass is re-distributed proportionally over the legitimate
+    currencies; ~Ripple Spin and ACCOUNT_ZERO flows are zeroed.
+    """
+    base = base or EconomyConfig()
+    return dataclasses.replace(
+        base,
+        seed=base.seed + 1,
+        ripple_spin_share=0.0,
+        account_zero_share=0.0,
+    )
+
+
+#: Currency weights with the spam currencies removed (renormalized).
+def no_spam_currency_weights() -> Dict[str, float]:
+    weights = {
+        code: share
+        for code, share in CURRENCY_SHARES.items()
+        if code not in ("CCK", "MTL")
+    }
+    total = sum(weights.values())
+    return {code: share / total for code, share in weights.items()}
+
+
+class NoSpamEconomyConfig(EconomyConfig):
+    """EconomyConfig whose CCK/MTL payment mass is zero.
+
+    Subclassing keeps the frozen dataclass semantics while overriding the
+    share map the workload builder consults.
+    """
+
+    def currency_weights(self) -> Dict[str, float]:
+        weights = super().currency_weights()
+        removed = weights.pop("CCK", 0.0) + weights.pop("MTL", 0.0)
+        total = sum(weights.values())
+        return {
+            code: share * (1.0 + removed / total)
+            for code, share in weights.items()
+        }
+
+
+def build_no_spam(n_payments: int = 8_000, seed: int = 101) -> NoSpamEconomyConfig:
+    """A ready-to-run spam-free economy."""
+    return NoSpamEconomyConfig(
+        seed=seed,
+        n_payments=n_payments,
+        n_users=max(100, n_payments // 33),
+        n_gateways=12,
+        n_market_makers=60,
+        n_offers=n_payments * 4,
+        ripple_spin_share=0.0,
+        account_zero_share=0.0,
+    )
+
+
+def late_era_config(n_payments: int = 8_000, seed: int = 102) -> EconomyConfig:
+    """Only the mature 2015 period (post-spam, pre-study-end)."""
+    return EconomyConfig(
+        seed=seed,
+        n_payments=n_payments,
+        n_users=max(100, n_payments // 33),
+        n_gateways=12,
+        n_market_makers=60,
+        n_offers=n_payments * 4,
+        start_time=to_ripple_time(_dt.datetime(2015, 1, 1, tzinfo=_dt.timezone.utc)),
+        snapshot_time=to_ripple_time(_dt.datetime(2015, 2, 1, tzinfo=_dt.timezone.utc)),
+        growth=1.0,  # steady state: no further acceleration
+    )
+
+
+def dense_makers_config(n_payments: int = 8_000, seed: int = 103) -> EconomyConfig:
+    """Twice the makers, flatter offer concentration (takeover-resistant)."""
+    return EconomyConfig(
+        seed=seed,
+        n_payments=n_payments,
+        n_users=max(100, n_payments // 33),
+        n_gateways=12,
+        n_market_makers=240,
+        n_offers=n_payments * 4,
+        offer_zipf_exponent=0.4,
+    )

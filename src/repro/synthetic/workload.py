@@ -1,0 +1,184 @@
+"""Workload composition: what gets paid, when, by whom.
+
+This module turns the :class:`~repro.synthetic.config.EconomyConfig` into a
+chronological schedule of *payment slots*: (timestamp, kind, currency)
+triples whose composition matches the paper's measured mix — 49 % XRP
+(with the ~Ripple Spin and ACCOUNT_ZERO sub-flows), the CCK micro-payment
+swarm, the MTL spam campaign, and the fiat long tail of Fig. 4.
+
+Temporal structure matters for the de-anonymization study (the timestamp is
+the strongest single feature in Fig. 3), so each flow gets its own arrival
+profile: overall volume grows over the three years, CCK is front-loaded
+(an early crafted currency), the MTL attack is a mid-2014 campaign, and
+~Ripple Spin only exists after its 2015 launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.consensus.engine import CLOSE_INTERVAL_SECONDS
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.records import (
+    KIND_CCK,
+    KIND_FIAT,
+    KIND_LONG_SPAM,
+    KIND_MTL_SPAM,
+    KIND_SPIN,
+    KIND_XRP,
+    KIND_ZERO,
+)
+
+
+@dataclass(frozen=True)
+class PaymentSlot:
+    """One scheduled payment before actor/amount selection."""
+
+    timestamp: int
+    kind: str
+    currency: str
+
+
+def _quantize(times: np.ndarray) -> np.ndarray:
+    """Snap raw times to the 5-second ledger-close grid (the paper's
+    timestamp is the close time of the sealing page)."""
+    grid = CLOSE_INTERVAL_SECONDS
+    return (np.asarray(times, dtype=np.int64) // grid) * grid
+
+
+def _growth_times(
+    config: EconomyConfig, rng: np.random.Generator, size: int
+) -> np.ndarray:
+    """Arrival times with rate growing over the period (t ∝ u^growth)."""
+    u = rng.random(size) ** config.growth
+    span = config.end_time - config.start_time
+    return _quantize(config.start_time + u * span)
+
+
+def _beta_times(
+    config: EconomyConfig,
+    rng: np.random.Generator,
+    size: int,
+    a: float,
+    b: float,
+    start: int = None,
+    end: int = None,
+) -> np.ndarray:
+    start = config.start_time if start is None else start
+    end = config.end_time if end is None else end
+    u = rng.beta(a, b, size)
+    return _quantize(start + u * (end - start))
+
+
+def payment_counts(config: EconomyConfig) -> Dict[str, int]:
+    """How many payments of each kind the run generates.
+
+    Shares follow the paper: XRP 49 % of everything, of which ~10 % goes to
+    ~Ripple Spin and ~9 % to ACCOUNT_ZERO; MTL and CCK from Fig. 4; the
+    long-spam outlier is a token handful.
+    """
+    n = config.n_payments
+    weights = config.currency_weights()
+    n_xrp_total = int(round(weights.get("XRP", 0.0) * n))
+    n_spin = int(round(n_xrp_total * config.ripple_spin_share))
+    n_zero = int(round(n_xrp_total * config.account_zero_share))
+    n_cck = int(round(weights.get("CCK", 0.0) * n))
+    n_mtl = int(round(weights.get("MTL", 0.0) * n))
+    # The 44-hop outlier only exists alongside the spam campaign.
+    n_long = max(3, n // 20_000) if n_mtl else 0
+    counted = n_xrp_total + n_cck + n_mtl + n_long
+    n_fiat = max(0, n - counted)
+    return {
+        KIND_XRP: n_xrp_total - n_spin - n_zero,
+        KIND_SPIN: n_spin,
+        KIND_ZERO: n_zero,
+        KIND_CCK: n_cck,
+        KIND_MTL_SPAM: n_mtl,
+        KIND_LONG_SPAM: n_long,
+        KIND_FIAT: n_fiat,
+    }
+
+
+def fiat_currency_weights(config: EconomyConfig) -> Tuple[List[str], np.ndarray]:
+    """Currencies and normalized weights for the fiat/IOU payment mass."""
+    weights = config.currency_weights()
+    for reserved in ("XRP", "CCK", "MTL"):
+        weights.pop(reserved, None)
+    codes = sorted(weights)
+    mass = np.array([weights[code] for code in codes])
+    return codes, mass / mass.sum()
+
+
+def build_schedule(
+    config: EconomyConfig, rng: np.random.Generator
+) -> List[PaymentSlot]:
+    """The full chronological payment schedule."""
+    counts = payment_counts(config)
+    slots: List[PaymentSlot] = []
+
+    # Plain XRP payments and the ACCOUNT_ZERO spam grow with the system.
+    for t in _growth_times(config, rng, counts[KIND_XRP]):
+        slots.append(PaymentSlot(int(t), KIND_XRP, "XRP"))
+    for t in _growth_times(config, rng, counts[KIND_ZERO]):
+        slots.append(PaymentSlot(int(t), KIND_ZERO, "XRP"))
+
+    # ~Ripple Spin bets exist only after the site launched in 2015.
+    spin_times = _beta_times(
+        config,
+        rng,
+        counts[KIND_SPIN],
+        a=1.2,
+        b=1.0,
+        start=config.spin_launch_time,
+        end=config.end_time,
+    )
+    for t in spin_times:
+        slots.append(PaymentSlot(int(t), KIND_SPIN, "XRP"))
+
+    # CCK was crafted early in the system's life; its swarm is almost
+    # entirely over before the Table II snapshot window.
+    for t in _beta_times(config, rng, counts[KIND_CCK], a=1.2, b=5.0):
+        slots.append(PaymentSlot(int(t), KIND_CCK, "CCK"))
+
+    # The MTL campaign is a concentrated mid-2014 burst, over well before
+    # the Table II snapshot window.
+    for t in _beta_times(
+        config, rng, counts[KIND_MTL_SPAM], a=9.0, b=8.0,
+        end=config.snapshot_time,
+    ):
+        slots.append(PaymentSlot(int(t), KIND_MTL_SPAM, "MTL"))
+    for t in _beta_times(
+        config, rng, counts[KIND_LONG_SPAM], a=9.0, b=8.0,
+        end=config.snapshot_time,
+    ):
+        slots.append(PaymentSlot(int(t), KIND_LONG_SPAM, "MTL"))
+
+    # Fiat & tail-currency IOU payments, currency drawn per Fig. 4 weights.
+    codes, weights = fiat_currency_weights(config)
+    picks = rng.choice(len(codes), size=counts[KIND_FIAT], p=weights)
+    for t, pick in zip(_growth_times(config, rng, counts[KIND_FIAT]), picks):
+        slots.append(PaymentSlot(int(t), KIND_FIAT, codes[pick]))
+
+    slots.sort(key=lambda slot: slot.timestamp)
+    return slots
+
+
+def offer_schedule(
+    config: EconomyConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Placement times for exchange offers (same growth profile)."""
+    return np.sort(_growth_times(config, rng, config.n_offers))
+
+
+def zipf_maker_weights(config: EconomyConfig) -> np.ndarray:
+    """Offer-placement weights across market makers.
+
+    Calibrated so the top 10 / 50 / 100 makers place roughly 50 / 75 / 87 %
+    of all offers, the concentration reported in the appendix.
+    """
+    ranks = np.arange(1, config.n_market_makers + 1, dtype=float)
+    weights = ranks ** (-config.offer_zipf_exponent)
+    return weights / weights.sum()

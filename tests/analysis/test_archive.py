@@ -1,0 +1,87 @@
+"""Tests for ledger-archive dump/load."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.analysis.archive import (
+    dump_archive,
+    iter_archive,
+    load_archive,
+    record_from_json,
+    record_to_json,
+)
+from repro.analysis.dataset import TransactionDataset
+from repro.errors import AnalysisError
+
+
+class TestRoundtrip:
+    def test_record_json_roundtrip(self, history):
+        record = history.records[0]
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_plain_file_roundtrip(self, history, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        subset = history.records[:200]
+        assert dump_archive(subset, path) == 200
+        assert load_archive(path) == subset
+
+    def test_gzip_roundtrip(self, history, tmp_path):
+        path = str(tmp_path / "ledger.jsonl.gz")
+        subset = history.records[:150]
+        dump_archive(subset, path)
+        assert load_archive(path) == subset
+        # It really is gzip on disk.
+        with gzip.open(path, "rt") as handle:
+            header = json.loads(handle.readline())
+        assert header["records"] == 150
+
+    def test_streaming_is_lazy(self, history, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        dump_archive(history.records[:50], path)
+        iterator = iter_archive(path)
+        first = next(iterator)
+        assert first == history.records[0]
+
+    def test_dataset_from_archive_matches(self, history, tmp_path):
+        path = str(tmp_path / "ledger.jsonl.gz")
+        dump_archive(history.records, path)
+        restored = TransactionDataset.from_records(load_archive(path))
+        original = TransactionDataset.from_records(history.records)
+        assert len(restored) == len(original)
+        assert (restored.amounts == original.amounts).all()
+        assert (restored.timestamps == original.timestamps).all()
+
+
+class TestFailureModes:
+    def test_missing_file(self):
+        with pytest.raises(AnalysisError):
+            list(iter_archive("/nonexistent/ledger.jsonl"))
+
+    def test_truncated_archive_detected(self, history, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        dump_archive(history.records[:30], path)
+        lines = open(path).readlines()
+        with open(path, "w") as handle:
+            handle.writelines(lines[:-5])  # chop off the tail
+        with pytest.raises(AnalysisError, match="truncated"):
+            list(iter_archive(path))
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json\n")
+        with pytest.raises(AnalysisError):
+            list(iter_archive(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = str(tmp_path / "v99.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"version": 99, "records": 0}) + "\n")
+        with pytest.raises(AnalysisError, match="version"):
+            list(iter_archive(path))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            record_from_json({"i": 1})

@@ -1,0 +1,126 @@
+"""Tests for population analytics and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.currencies import currency_ranking
+from repro.analysis.export import (
+    export_figure2,
+    export_figure3,
+    export_figure4,
+    export_figure5,
+    export_figure6,
+    export_figure7,
+    export_table2,
+)
+from repro.analysis.gateways import top_intermediaries
+from repro.analysis.market_makers import table2
+from repro.analysis.paths import path_structure
+from repro.analysis.population import (
+    growth_is_increasing,
+    monthly_volume,
+    new_accounts_per_month,
+    population_stats,
+    top_senders,
+)
+from repro.analysis.survival import figure5_curves
+from repro.core.deanonymizer import Deanonymizer
+
+
+class TestPopulation:
+    def test_stats_shape(self, dataset):
+        stats = population_stats(dataset)
+        assert stats.accounts_seen > 0
+        assert 0 < stats.active_senders <= stats.accounts_seen
+        assert 0 < stats.active_share <= 1
+        assert stats.payments_per_active_sender >= 1
+
+    def test_minimum_payments_threshold(self, dataset):
+        casual = population_stats(dataset, min_payments=1)
+        committed = population_stats(dataset, min_payments=10)
+        assert committed.active_senders < casual.active_senders
+
+    def test_activity_is_concentrated(self, dataset):
+        # Zipf-distributed senders: a heavily unequal activity profile.
+        stats = population_stats(dataset)
+        assert stats.activity_concentration > 0.3
+
+    def test_monthly_volume_covers_history(self, dataset):
+        volume = monthly_volume(dataset)
+        months = [month for month, _ in volume]
+        assert months == sorted(months)
+        assert sum(count for _, count in volume) == len(dataset)
+
+    def test_growth_over_time(self, dataset):
+        # The generator's arrival process grows; the analysis must see it.
+        assert growth_is_increasing(dataset)
+
+    def test_top_senders_sorted(self, dataset):
+        top = top_senders(dataset, top_k=5)
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_new_accounts_per_month_totals(self, dataset):
+        registrations = new_accounts_per_month(dataset)
+        seen = np.union1d(
+            np.unique(dataset.sender_ids), np.unique(dataset.destination_ids)
+        )
+        assert sum(registrations.values()) == len(seen)
+
+
+class TestExports:
+    def read(self, path):
+        with open(path) as handle:
+            return list(csv.reader(handle))
+
+    def test_export_figure3(self, dataset, tmp_path):
+        path = str(tmp_path / "fig3.csv")
+        gains = Deanonymizer(dataset).figure3()
+        assert export_figure3(gains, path) == 10
+        rows = self.read(path)
+        assert rows[0] == ["feature_list", "identified", "total", "percent"]
+        assert len(rows) == 11
+
+    def test_export_figure4(self, dataset, tmp_path):
+        path = str(tmp_path / "fig4.csv")
+        count = export_figure4(currency_ranking(dataset), path)
+        assert count > 10
+        rows = self.read(path)
+        assert rows[1][0] == "XRP"
+
+    def test_export_figure5(self, dataset, tmp_path):
+        path = str(tmp_path / "fig5.csv")
+        curves = figure5_curves(dataset)
+        export_figure5(curves, path)
+        rows = self.read(path)
+        assert rows[0][0] == "amount"
+        assert len(rows[0]) == len(curves) + 1
+
+    def test_export_figure6(self, dataset, tmp_path):
+        path = str(tmp_path / "fig6.csv")
+        export_figure6(path_structure(dataset), path)
+        rows = self.read(path)
+        series = {row[0] for row in rows[1:]}
+        assert series == {"hops", "parallel_paths"}
+
+    def test_export_figure7(self, history, tmp_path):
+        path = str(tmp_path / "fig7.csv")
+        count = export_figure7(top_intermediaries(history, 20), path)
+        assert count == 20
+
+    def test_export_table2(self, history, tmp_path):
+        path = str(tmp_path / "table2.csv")
+        assert export_table2(table2(history), path) == 3
+
+    def test_export_figure2(self, tmp_path):
+        from repro.core.robustness import run_period
+        from repro.stream.periods import period
+
+        report = run_period(period("dec2015"), scale=1 / 4000, seed=1)
+        path = str(tmp_path / "fig2.csv")
+        count = export_figure2(report, path)
+        assert count == len(report.observations)
+        rows = self.read(path)
+        assert rows[1][0] == "R1"

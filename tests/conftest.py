@@ -1,0 +1,50 @@
+"""Shared fixtures: one small synthetic history reused across test modules.
+
+Generating a history executes thousands of payments through the real
+engine, so the expensive fixtures are session-scoped — the same pattern as
+the paper's analyses all reading one ledger download.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.dataset import TransactionDataset
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import EUR, USD
+from repro.ledger.state import LedgerState
+from repro.synthetic.config import small_config
+from repro.synthetic.generator import generate_history
+
+
+@pytest.fixture(scope="session")
+def history():
+    """A 4k-payment synthetic history (session-scoped; ~3 s to build)."""
+    return generate_history(small_config(seed=7, n_payments=4_000))
+
+
+@pytest.fixture(scope="session")
+def dataset(history):
+    """Columnar dataset over the session history's delivered payments."""
+    return TransactionDataset.from_records(history.records)
+
+
+@pytest.fixture()
+def simple_state():
+    """A tiny hand-built ledger: alice/bob/carol around one gateway.
+
+    * everyone holds plenty of XRP;
+    * alice, bob, carol trust the gateway for 1000 USD;
+    * alice has a 500 USD deposit (the gateway owes her).
+    """
+    state = LedgerState()
+    actors = {}
+    for name in ("alice", "bob", "carol", "gateway"):
+        account = account_from_name(name, namespace="tests")
+        state.create_account(account, 10 ** 9)
+        actors[name] = account
+    for name in ("alice", "bob", "carol"):
+        state.set_trust(actors[name], actors["gateway"], Amount.from_value(USD, 1000))
+    state.apply_hop(actors["gateway"], actors["alice"], Amount.from_value(USD, 500))
+    return state, actors

@@ -1,0 +1,91 @@
+"""Tests for account identifiers and the base58check address encoding."""
+
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.ledger.accounts import (
+    ACCOUNT_ZERO,
+    AccountID,
+    account_from_name,
+    base58_decode,
+    base58_encode,
+    decode_account_id,
+    encode_account_id,
+)
+
+
+class TestBase58:
+    def test_roundtrip_simple(self):
+        data = b"\x01\x02\x03\xff"
+        assert base58_decode(base58_encode(data)) == data
+
+    def test_leading_zeros_preserved(self):
+        data = b"\x00\x00\xab\xcd"
+        assert base58_decode(base58_encode(data)) == data
+
+    def test_zero_byte_encodes_to_r(self):
+        # Ripple's alphabet starts with 'r', so zero bytes render as 'r'.
+        assert base58_encode(b"\x00") == "r"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(InvalidAddressError):
+            base58_decode("0OIl")  # characters absent from the alphabet
+
+
+class TestAddressEncoding:
+    def test_address_starts_with_r(self):
+        account = account_from_name("anyone")
+        assert account.address.startswith("r")
+
+    def test_roundtrip(self):
+        account = account_from_name("roundtrip")
+        assert AccountID.from_address(account.address) == account
+
+    def test_checksum_detects_corruption(self):
+        address = account_from_name("victim").address
+        # Flip one character (avoiding the first, to keep the prefix).
+        tampered = address[:-1] + ("r" if address[-1] != "r" else "p")
+        with pytest.raises(InvalidAddressError):
+            decode_account_id(tampered)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(InvalidAddressError):
+            encode_account_id(b"\x01" * 19)
+
+    def test_wrong_payload_length_rejected(self):
+        with pytest.raises(InvalidAddressError):
+            decode_account_id("rrrrr")
+
+
+class TestAccountID:
+    def test_must_be_20_bytes(self):
+        with pytest.raises(InvalidAddressError):
+            AccountID(b"\x01" * 21)
+
+    def test_deterministic_from_name(self):
+        assert account_from_name("bob") == account_from_name("bob")
+        assert account_from_name("bob") != account_from_name("alice")
+
+    def test_namespaces_separate(self):
+        assert account_from_name("bob", "a") != account_from_name("bob", "b")
+
+    def test_ordering_and_hashing(self):
+        accounts = sorted({account_from_name(str(i)) for i in range(10)})
+        assert len(accounts) == 10
+        assert accounts == sorted(accounts, key=lambda a: a.raw)
+
+    def test_short_form(self):
+        account = account_from_name("short")
+        short = account.short()
+        assert short.startswith(account.address[:6])
+        assert short.endswith(account.address[-6:])
+        assert "..." in short
+
+    def test_account_zero_is_all_zero_bytes(self):
+        assert ACCOUNT_ZERO.raw == b"\x00" * 20
+        # and still encodes/decodes like any account
+        assert AccountID.from_address(ACCOUNT_ZERO.address) == ACCOUNT_ZERO
+
+    def test_from_public_key_is_160_bits(self):
+        account = AccountID.from_public_key(b"\x04" + b"\x11" * 64)
+        assert len(account.raw) == 20

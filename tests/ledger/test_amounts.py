@@ -1,0 +1,123 @@
+"""Tests for the STAmount-style amount representation."""
+
+import pytest
+
+from repro.errors import InvalidAmountError
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import DROPS_PER_XRP, Amount
+from repro.ledger.currency import BTC, EUR, USD, XRP
+
+
+class TestConstruction:
+    def test_xrp_from_value(self):
+        amount = Amount.xrp(1.5)
+        assert amount.to_float() == pytest.approx(1.5)
+        assert amount.is_xrp
+
+    def test_drops(self):
+        assert Amount.drops(DROPS_PER_XRP).to_float() == pytest.approx(1.0)
+
+    def test_xrp_cannot_have_issuer(self):
+        with pytest.raises(InvalidAmountError):
+            Amount(XRP, 1, 0, issuer=account_from_name("gw"))
+
+    def test_ledger_precision_is_micro(self):
+        # The ledger records amounts at 1e-6 (the paper's stated precision).
+        amount = Amount.from_value(USD, 0.1234567)
+        assert amount.to_float() == pytest.approx(0.123457)
+
+    def test_zero(self):
+        zero = Amount.zero(USD)
+        assert zero.is_zero and not zero.is_positive and not zero.is_negative
+
+    def test_normalization_idempotent(self):
+        a = Amount(USD, 123456789, -3)
+        b = Amount(USD, a.mantissa, a.exponent)
+        assert (a.mantissa, a.exponent) == (b.mantissa, b.exponent)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a = Amount.from_value(USD, 10.5)
+        b = Amount.from_value(USD, 2.25)
+        assert (a + b).to_float() == pytest.approx(12.75)
+        assert (a - b).to_float() == pytest.approx(8.25)
+
+    def test_negation(self):
+        a = Amount.from_value(USD, 3.0)
+        assert (-a).to_float() == pytest.approx(-3.0)
+        assert (-a).is_negative
+
+    def test_currency_mismatch_rejected(self):
+        with pytest.raises(InvalidAmountError):
+            Amount.from_value(USD, 1) + Amount.from_value(EUR, 1)
+
+    def test_issuer_mismatch_rejected(self):
+        a = Amount.from_value(USD, 1, issuer=account_from_name("g1"))
+        b = Amount.from_value(USD, 1, issuer=account_from_name("g2"))
+        with pytest.raises(InvalidAmountError):
+            a + b
+
+    def test_scaled(self):
+        assert Amount.from_value(USD, 10).scaled(0.25).to_float() == pytest.approx(2.5)
+
+    def test_ratio(self):
+        a = Amount.from_value(USD, 10)
+        b = Amount.from_value(USD, 4)
+        assert a.ratio(b) == pytest.approx(2.5)
+
+    def test_ratio_by_zero_rejected(self):
+        with pytest.raises(InvalidAmountError):
+            Amount.from_value(USD, 1).ratio(Amount.zero(USD))
+
+    def test_min(self):
+        a = Amount.from_value(USD, 10)
+        b = Amount.from_value(USD, 4)
+        assert a.min(b) is b
+
+    def test_comparisons(self):
+        a = Amount.from_value(USD, 1)
+        b = Amount.from_value(USD, 2)
+        assert a < b and a <= b and b > a and b >= a
+        assert not (b < a)
+
+
+class TestRounding:
+    """Table I rounding semantics — these must be exact."""
+
+    def test_round_to_tens(self):
+        assert Amount.from_value(EUR, 123.45).round_to(1).to_float() == 120.0
+
+    def test_round_to_hundreds(self):
+        assert Amount.from_value(EUR, 163.45).round_to(2).to_float() == 200.0
+
+    def test_round_to_thousandths_btc(self):
+        assert Amount.from_value(BTC, 0.0123).round_to(-3).to_float() == pytest.approx(0.012)
+
+    def test_round_half_away_from_zero(self):
+        assert Amount.from_value(USD, 15.0).round_to(1).to_float() == 20.0
+        assert Amount.from_value(USD, -15.0).round_to(1).to_float() == -20.0
+
+    def test_small_amount_rounds_to_zero(self):
+        # An XRP latte-sized payment vanishes at the weak-group Max of 1e5.
+        assert Amount.from_value(XRP, 4.5).round_to(5).is_zero
+
+    def test_huge_mtl_amount(self):
+        spam = Amount.from_value(Amount.from_value(USD, 0).currency, 0)  # placeholder
+        mtl = Amount(BTC, 1234567891, 0)
+        assert mtl.round_to(7).to_float() == pytest.approx(1.23e9)
+
+    def test_rounding_preserves_currency_and_issuer(self):
+        issuer = account_from_name("gw")
+        amount = Amount.from_value(USD, 55.0, issuer=issuer)
+        rounded = amount.round_to(1)
+        assert rounded.currency == USD and rounded.issuer == issuer
+
+
+class TestOverflow:
+    def test_exponent_overflow_rejected(self):
+        with pytest.raises(InvalidAmountError):
+            Amount(USD, 10 ** 15, 80)
+
+    def test_underflow_becomes_zero(self):
+        assert Amount(USD, 1, -200).is_zero

@@ -1,0 +1,81 @@
+"""Tests for the Schnorr signature scheme."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.ledger import crypto
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return crypto.KeyPair.from_seed(b"test-keypair")
+
+
+class TestKeyPair:
+    def test_deterministic_from_seed(self):
+        a = crypto.KeyPair.from_seed(b"seed")
+        b = crypto.KeyPair.from_seed(b"seed")
+        assert a.secret == b.secret and a.public == b.public
+
+    def test_different_seeds_differ(self):
+        assert (
+            crypto.KeyPair.from_seed(b"one").public
+            != crypto.KeyPair.from_seed(b"two").public
+        )
+
+    def test_public_is_group_element(self, keypair):
+        assert 1 < keypair.public < crypto.P
+        # Element of the order-q subgroup: y^q == 1 (mod p).
+        assert pow(keypair.public, crypto.Q, crypto.P) == 1
+
+    def test_public_bytes_length(self, keypair):
+        assert len(keypair.public_bytes()) == 256
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, keypair):
+        signature = keypair.sign(b"message")
+        assert crypto.verify(keypair.public, b"message", signature)
+
+    def test_signing_is_deterministic(self, keypair):
+        assert keypair.sign(b"m") == keypair.sign(b"m")
+
+    def test_different_messages_different_signatures(self, keypair):
+        assert keypair.sign(b"m1") != keypair.sign(b"m2")
+
+    def test_tampered_message_fails(self, keypair):
+        signature = keypair.sign(b"message")
+        assert not crypto.verify(keypair.public, b"messagX", signature)
+
+    def test_wrong_key_fails(self, keypair):
+        other = crypto.KeyPair.from_seed(b"other")
+        signature = keypair.sign(b"message")
+        assert not crypto.verify(other.public, b"message", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = keypair.sign(b"message")
+        forged = crypto.Signature(s=(signature.s + 1) % crypto.Q, e=signature.e)
+        assert not crypto.verify(keypair.public, b"message", forged)
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        signature = keypair.sign(b"message")
+        forged = crypto.Signature(s=signature.s + crypto.Q, e=signature.e)
+        assert not crypto.verify(keypair.public, b"message", forged)
+
+    def test_require_valid_raises(self, keypair):
+        signature = keypair.sign(b"message")
+        crypto.require_valid(keypair.public, b"message", signature)
+        with pytest.raises(SignatureError):
+            crypto.require_valid(keypair.public, b"other", signature)
+
+
+class TestSerialization:
+    def test_roundtrip(self, keypair):
+        signature = keypair.sign(b"wire")
+        restored = crypto.Signature.from_bytes(signature.to_bytes())
+        assert restored == signature
+        assert crypto.verify(keypair.public, b"wire", restored)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SignatureError):
+            crypto.Signature.from_bytes(b"\x00" * 100)

@@ -1,0 +1,85 @@
+"""Tests for currency codes and Table I strength groups."""
+
+import pytest
+
+from repro.errors import InvalidCurrencyError
+from repro.ledger.currency import (
+    BTC,
+    CCK,
+    CNY,
+    EUR,
+    JPY,
+    MTL,
+    USD,
+    XRP,
+    Currency,
+    Strength,
+    eur_value,
+    rounding_resolutions,
+    strength_of,
+)
+
+
+class TestCurrency:
+    def test_code_must_be_three_chars(self):
+        with pytest.raises(InvalidCurrencyError):
+            Currency("USDX")
+        with pytest.raises(InvalidCurrencyError):
+            Currency("US")
+
+    def test_code_must_be_uppercase(self):
+        with pytest.raises(InvalidCurrencyError):
+            Currency("usd")
+
+    def test_xrp_flag(self):
+        assert XRP.is_xrp and not USD.is_xrp
+
+    def test_iso_recognition(self):
+        assert USD.is_iso4217 and EUR.is_iso4217
+        # The paper's spam currencies are NOT in the standard.
+        assert not CCK.is_iso4217 and not MTL.is_iso4217
+
+    def test_equality_and_hash(self):
+        assert Currency("USD") == USD
+        assert len({Currency("USD"), USD, EUR}) == 2
+
+
+class TestStrengthGroups:
+    """Exactly the Table I rows."""
+
+    @pytest.mark.parametrize("code", ["BTC", "XAG", "XAU", "XPT"])
+    def test_powerful(self, code):
+        assert strength_of(Currency(code)) is Strength.POWERFUL
+
+    @pytest.mark.parametrize("code", ["CNY", "EUR", "USD", "AUD", "GBP", "JPY"])
+    def test_medium(self, code):
+        assert strength_of(Currency(code)) is Strength.MEDIUM
+
+    @pytest.mark.parametrize("code", ["XRP", "CCK", "STR", "KRW", "MTL"])
+    def test_weak(self, code):
+        assert strength_of(Currency(code)) is Strength.WEAK
+
+    def test_rounding_triplets(self):
+        assert rounding_resolutions(BTC) == (1e-3, 1e-2, 1e-1)
+        assert rounding_resolutions(EUR) == (1e1, 1e2, 1e3)
+        assert rounding_resolutions(XRP) == (1e5, 1e6, 1e7)
+
+    def test_unknown_currency_defaults_sensibly(self):
+        # Unlisted codes classify by value or default to MEDIUM — the
+        # analysis must be total over the open currency-code space.
+        assert strength_of(Currency("ZZZ")) is Strength.MEDIUM
+        assert strength_of(Currency("LTC")) is Strength.MEDIUM
+
+    def test_valueless_weak_classification(self):
+        # DOG-style micro currencies classify as weak via eur value.
+        assert strength_of(Currency("STR")) is Strength.WEAK
+
+
+class TestEurValue:
+    def test_known_values(self):
+        assert eur_value(EUR) == 1.0
+        assert eur_value(BTC) > 100
+        assert eur_value(XRP) < 0.1
+
+    def test_unknown_default(self):
+        assert eur_value(Currency("QQQ")) == pytest.approx(0.1)

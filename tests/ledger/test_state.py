@@ -1,0 +1,171 @@
+"""Tests for mutable ledger state."""
+
+import pytest
+
+from repro.errors import (
+    InsufficientBalanceError,
+    LedgerError,
+    TrustLineError,
+    UnknownAccountError,
+)
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import EUR, USD
+from repro.ledger.offers import Offer
+from repro.ledger.state import BASE_RESERVE_DROPS, LedgerState
+
+
+def usd(value):
+    return Amount.from_value(USD, value)
+
+
+class TestAccounts:
+    def test_create_and_lookup(self, simple_state):
+        state, actors = simple_state
+        assert state.has_account(actors["alice"])
+        assert state.xrp_balance(actors["alice"]) == 10 ** 9
+
+    def test_duplicate_create_rejected(self, simple_state):
+        state, actors = simple_state
+        with pytest.raises(LedgerError):
+            state.create_account(actors["alice"])
+
+    def test_unknown_account_raises(self):
+        state = LedgerState()
+        with pytest.raises(UnknownAccountError):
+            state.account(account_from_name("ghost"))
+
+    def test_xrp_transfer(self, simple_state):
+        state, actors = simple_state
+        state.transfer_xrp(actors["alice"], actors["bob"], 500)
+        assert state.xrp_balance(actors["bob"]) == 10 ** 9 + 500
+
+    def test_overdraft_rejected(self, simple_state):
+        state, actors = simple_state
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer_xrp(actors["alice"], actors["bob"], 10 ** 10)
+
+    def test_reserve_enforcement(self, simple_state):
+        state, actors = simple_state
+        state.enforce_reserve = True
+        spendable = 10 ** 9 - BASE_RESERVE_DROPS
+        state.transfer_xrp(actors["alice"], actors["bob"], spendable)
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer_xrp(actors["alice"], actors["bob"], 1)
+
+    def test_fee_burning_destroys_xrp(self, simple_state):
+        state, actors = simple_state
+        total_before = state.total_xrp_drops()
+        state.burn_fee(actors["alice"], 10)
+        assert state.total_xrp_drops() == total_before - 10
+        assert state.burned_fee_drops == 10
+
+    def test_sequence_numbers_monotone(self, simple_state):
+        state, actors = simple_state
+        first = state.next_sequence(actors["alice"])
+        second = state.next_sequence(actors["alice"])
+        assert second == first + 1
+
+
+class TestTrust:
+    def test_set_trust_creates_line(self, simple_state):
+        state, actors = simple_state
+        line = state.trust_line(actors["alice"], actors["gateway"], USD)
+        assert line is not None and line.limit.to_float() == 1000
+
+    def test_set_trust_updates_limit(self, simple_state):
+        state, actors = simple_state
+        state.set_trust(actors["alice"], actors["gateway"], usd(2000))
+        line = state.trust_line(actors["alice"], actors["gateway"], USD)
+        assert line.limit.to_float() == 2000
+
+    def test_indexes_consistent(self, simple_state):
+        state, actors = simple_state
+        trusted = state.lines_trusted_by(actors["alice"])
+        trusting = state.lines_trusting(actors["gateway"])
+        assert any(line.trustee == actors["gateway"] for line in trusted)
+        assert any(line.truster == actors["alice"] for line in trusting)
+
+    def test_iou_balance_nets_credit_and_debt(self, simple_state):
+        state, actors = simple_state
+        # alice holds 500 of gateway credit
+        assert state.iou_balance(actors["alice"], USD).to_float() == 500
+        assert state.iou_balance(actors["gateway"], USD).to_float() == -500
+
+
+class TestHops:
+    def test_hop_capacity_combines_directions(self, simple_state):
+        state, actors = simple_state
+        # gateway -> bob: bob trusts gateway for 1000, no debt yet.
+        assert state.hop_capacity(actors["gateway"], actors["bob"], USD) == 1000
+        # alice -> gateway: alice holds 500 (settle) + no trust from gateway.
+        assert state.hop_capacity(actors["alice"], actors["gateway"], USD) == 500
+
+    def test_apply_hop_settles_before_extending(self, simple_state):
+        state, actors = simple_state
+        # alice pays gateway 300: settles 300 of the gateway's 500 debt.
+        state.apply_hop(actors["alice"], actors["gateway"], usd(300))
+        assert state.iou_balance(actors["alice"], USD).to_float() == 200
+
+    def test_apply_hop_mixed_settle_extend(self, simple_state):
+        state, actors = simple_state
+        # gateway owes alice 500; gateway also trusts nobody.  Alice pays
+        # 600: 500 settles, 100 requires trust gateway->alice — absent.
+        with pytest.raises(TrustLineError):
+            state.apply_hop(actors["alice"], actors["gateway"], usd(600))
+
+    def test_apply_hop_without_any_line_rejected(self, simple_state):
+        state, actors = simple_state
+        with pytest.raises(TrustLineError):
+            state.apply_hop(actors["alice"], actors["bob"], usd(1))
+
+
+class TestOffers:
+    def offer(self, actors, sequence=1, pays=110.0, gets=100.0):
+        return Offer(
+            owner=actors["alice"],
+            sequence=sequence,
+            taker_pays=usd(pays),
+            taker_gets=Amount.from_value(EUR, gets),
+        )
+
+    def test_place_and_book_lookup(self, simple_state):
+        state, actors = simple_state
+        state.place_offer(self.offer(actors))
+        book = state.book_offers(USD, EUR)
+        assert len(book) == 1
+
+    def test_books_sorted_by_quality(self, simple_state):
+        state, actors = simple_state
+        state.place_offer(self.offer(actors, sequence=1, pays=120))
+        state.place_offer(self.offer(actors, sequence=2, pays=105))
+        book = state.book_offers(USD, EUR)
+        assert book[0].sequence == 2
+
+    def test_duplicate_offer_rejected(self, simple_state):
+        state, actors = simple_state
+        state.place_offer(self.offer(actors))
+        with pytest.raises(LedgerError):
+            state.place_offer(self.offer(actors))
+
+    def test_cancel(self, simple_state):
+        state, actors = simple_state
+        state.place_offer(self.offer(actors))
+        assert state.cancel_offer(actors["alice"], 1)
+        assert not state.cancel_offer(actors["alice"], 1)
+        assert state.book_offers(USD, EUR) == []
+
+    def test_consumed_offers_pruned_lazily(self, simple_state):
+        state, actors = simple_state
+        offer = self.offer(actors)
+        state.place_offer(offer)
+        offer.fill(Amount.from_value(EUR, 100))
+        assert state.book_offers(USD, EUR) == []
+        assert (actors["alice"], 1) not in state.offers
+
+    def test_remove_all_offers_of_owner(self, simple_state):
+        state, actors = simple_state
+        state.place_offer(self.offer(actors, sequence=1))
+        state.place_offer(self.offer(actors, sequence=2))
+        assert state.remove_all_offers_of(actors["alice"]) == 2
+        assert state.book_offers(USD, EUR) == []

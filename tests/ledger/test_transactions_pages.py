@@ -1,0 +1,176 @@
+"""Tests for transaction types, hashing, and the ledger page chain."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import InvalidTransactionError, LedgerError
+from repro.ledger import crypto
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import EUR, USD, XRP
+from repro.ledger.hashing import sha512half, tx_set_hash
+from repro.ledger.pages import GENESIS_PARENT_HASH, LedgerChain, LedgerPage
+from repro.ledger.transactions import (
+    AccountSet,
+    OfferCancel,
+    OfferCreate,
+    Payment,
+    TrustSet,
+    from_ripple_time,
+    to_ripple_time,
+)
+
+ALICE = account_from_name("alice")
+BOB = account_from_name("bob")
+
+
+def payment(**kwargs):
+    defaults = dict(
+        account=ALICE,
+        sequence=1,
+        destination=BOB,
+        amount=Amount.from_value(USD, 10),
+    )
+    defaults.update(kwargs)
+    return Payment(**defaults)
+
+
+class TestRippleTime:
+    def test_epoch(self):
+        epoch = dt.datetime(2000, 1, 1, tzinfo=dt.timezone.utc)
+        assert to_ripple_time(epoch) == 0
+
+    def test_roundtrip(self):
+        when = dt.datetime(2015, 8, 24, 15, 41, 3, tzinfo=dt.timezone.utc)
+        assert from_ripple_time(to_ripple_time(when)) == when
+
+    def test_naive_datetime_treated_as_utc(self):
+        naive = dt.datetime(2015, 1, 1)
+        aware = dt.datetime(2015, 1, 1, tzinfo=dt.timezone.utc)
+        assert to_ripple_time(naive) == to_ripple_time(aware)
+
+
+class TestTransactionValidation:
+    def test_valid_payment(self):
+        payment().validate()
+
+    def test_payment_to_self_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            payment(destination=ALICE).validate()
+
+    def test_non_positive_amount_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            payment(amount=Amount.zero(USD)).validate()
+
+    def test_fee_below_base_rejected(self):
+        with pytest.raises(InvalidTransactionError):
+            payment(fee_drops=1).validate()
+
+    def test_cross_currency_flag(self):
+        tx = payment(send_max=Amount.from_value(EUR, 20))
+        assert tx.is_cross_currency
+        assert not payment().is_cross_currency
+
+    def test_trust_set_validation(self):
+        TrustSet(account=ALICE, sequence=1, trustee=BOB, limit=Amount.from_value(USD, 5)).validate()
+        with pytest.raises(InvalidTransactionError):
+            TrustSet(account=ALICE, sequence=1, trustee=ALICE, limit=Amount.from_value(USD, 5)).validate()
+        with pytest.raises(InvalidTransactionError):
+            TrustSet(account=ALICE, sequence=1, trustee=BOB, limit=Amount.xrp(5)).validate()
+
+    def test_offer_create_validation(self):
+        OfferCreate(
+            account=ALICE, sequence=1,
+            taker_pays=Amount.from_value(USD, 1), taker_gets=Amount.from_value(EUR, 1),
+        ).validate()
+        with pytest.raises(InvalidTransactionError):
+            OfferCreate(
+                account=ALICE, sequence=1,
+                taker_pays=Amount.zero(USD), taker_gets=Amount.from_value(EUR, 1),
+            ).validate()
+
+    def test_offer_cancel_validation(self):
+        OfferCancel(account=ALICE, sequence=1, offer_sequence=3).validate()
+        with pytest.raises(InvalidTransactionError):
+            OfferCancel(account=ALICE, sequence=1, offer_sequence=-1).validate()
+
+
+class TestHashing:
+    def test_hash_changes_with_any_field(self):
+        base = payment()
+        assert payment(sequence=2).tx_hash != base.tx_hash
+        assert payment(amount=Amount.from_value(USD, 11)).tx_hash != base.tx_hash
+        assert payment(timestamp=5).tx_hash != base.tx_hash
+
+    def test_hash_is_stable(self):
+        assert payment().tx_hash == payment().tx_hash
+
+    def test_different_types_never_collide(self):
+        trust = TrustSet(account=ALICE, sequence=1, trustee=BOB, limit=Amount.from_value(USD, 10))
+        assert trust.tx_hash != payment().tx_hash
+
+    def test_tx_set_hash_order_independent(self):
+        hashes = [sha512half(bytes([i])) for i in range(5)]
+        assert tx_set_hash(hashes) == tx_set_hash(list(reversed(hashes)))
+
+    def test_signature_roundtrip(self):
+        tx = payment()
+        keypair = crypto.KeyPair.from_seed(b"alice-signing")
+        tx.sign(keypair)
+        assert tx.verify_signature()
+        tx.amount = Amount.from_value(USD, 999)
+        assert not tx.verify_signature()
+
+    def test_unsigned_does_not_verify(self):
+        assert not payment().verify_signature()
+
+
+class TestLedgerChain:
+    def test_genesis(self):
+        chain = LedgerChain.with_genesis()
+        assert len(chain) == 1
+        assert chain.head.sequence == 0
+        assert chain.head.parent_hash == GENESIS_PARENT_HASH
+
+    def test_seal_links_pages(self):
+        chain = LedgerChain.with_genesis()
+        first = chain.seal([payment()], close_time=10)
+        second = chain.seal([], close_time=15)
+        assert second.parent_hash == first.page_hash
+        assert chain.transaction_count() == 1
+
+    def test_bad_linkage_rejected(self):
+        chain = LedgerChain.with_genesis()
+        rogue = LedgerPage(
+            sequence=1, parent_hash=b"\x01" * 32, close_time=1, transactions=()
+        )
+        with pytest.raises(LedgerError):
+            chain.append(rogue)
+
+    def test_non_monotone_close_time_rejected(self):
+        chain = LedgerChain.with_genesis(close_time=100)
+        with pytest.raises(LedgerError):
+            chain.seal([], close_time=50)
+
+    def test_page_lookup_by_hash(self):
+        chain = LedgerChain.with_genesis()
+        page = chain.seal([payment()], close_time=5)
+        assert chain.page_by_hash(page.page_hash) is page
+        assert chain.page_by_hash(b"\x00" * 32) is None
+
+    def test_iter_transactions(self):
+        chain = LedgerChain.with_genesis()
+        chain.seal([payment(), payment(sequence=2)], close_time=5)
+        pairs = list(chain.iter_transactions())
+        assert len(pairs) == 2
+        assert all(page.sequence == 1 for page, _ in pairs)
+
+    def test_tx_set_id_ignores_order(self):
+        a, b = payment(), payment(sequence=2)
+        chain1 = LedgerChain.with_genesis()
+        chain2 = LedgerChain.with_genesis()
+        p1 = chain1.seal([a, b], close_time=5)
+        p2 = chain2.seal([b, a], close_time=5)
+        assert p1.tx_set_id == p2.tx_set_id
+        assert p1.page_hash == p2.page_hash

@@ -1,0 +1,126 @@
+"""Tests for the arbitrage bot (Section III-C)."""
+
+import pytest
+
+from repro.errors import PaymentError
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import DROPS_PER_XRP, Amount
+from repro.ledger.currency import EUR, USD, XRP, Currency
+from repro.ledger.offers import Offer
+from repro.ledger.state import LedgerState
+from repro.payments.arbitrage import ArbitrageBot
+
+
+@pytest.fixture()
+def market():
+    state = LedgerState()
+    bot_account = account_from_name("arb-bot", namespace="arb")
+    maker_a = account_from_name("maker-a", namespace="arb")
+    maker_b = account_from_name("maker-b", namespace="arb")
+    for account in (bot_account, maker_a, maker_b):
+        state.create_account(account, 10 ** 9 * DROPS_PER_XRP)
+    return state, bot_account, maker_a, maker_b
+
+
+def place(state, owner, seq, pays_cur, pays, gets_cur, gets):
+    state.place_offer(
+        Offer(
+            owner=owner,
+            sequence=seq,
+            taker_pays=Amount.from_value(pays_cur, pays),
+            taker_gets=Amount.from_value(gets_cur, gets),
+        )
+    )
+
+
+class TestDetection:
+    def test_skewed_market_detected(self, market):
+        state, bot_account, maker_a, maker_b = market
+        # Buy USD at 100 XRP/USD (pay 10000 XRP get 100 USD),
+        # sell USD at 110 XRP/USD: 10% cycle profit.
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        quotes = bot.find_opportunities([USD])
+        assert quotes and quotes[0].profitable
+        assert quotes[0].rate == pytest.approx(1.1)
+
+    def test_efficient_market_yields_nothing(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 9_500)  # round trip loses
+        bot = ArbitrageBot(state, bot_account)
+        assert bot.find_opportunities([USD]) == []
+
+    def test_triangular_cycle_detected(self, market):
+        state, bot_account, maker_a, maker_b = market
+        # XRP -> USD -> EUR -> XRP with compounded skew.
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)   # 0.01 USD per XRP
+        place(state, maker_a, 2, USD, 100, EUR, 95)       # 0.95 EUR per USD
+        place(state, maker_b, 3, EUR, 95, XRP, 11_000)    # back to XRP, +10%
+        bot = ArbitrageBot(state, bot_account)
+        quotes = bot.find_opportunities([USD, EUR])
+        triangular = [q for q in quotes if len(q.legs) == 3]
+        assert triangular
+        assert triangular[0].rate == pytest.approx(1.1, rel=1e-6)
+
+    def test_capacity_bounded_by_depth(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 1_000, USD, 10)   # shallow buy side
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        quote = bot.find_opportunities([USD])[0]
+        assert quote.capacity_xrp <= 1_000 + 1e-6
+
+
+class TestExecution:
+    def test_profitable_cycle_increases_xrp(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        before = state.xrp_balance(bot_account)
+        quote = bot.find_opportunities([USD])[0]
+        result = bot.execute(quote, xrp_budget=5_000)
+        assert result.profit_xrp > 0
+        after = state.xrp_balance(bot_account)
+        assert after - before == pytest.approx(
+            result.profit_xrp * DROPS_PER_XRP, rel=1e-6
+        )
+
+    def test_execution_consumes_offers(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        quote = bot.find_opportunities([USD])[0]
+        bot.execute(quote, xrp_budget=10_000)
+        # Both best offers were (at least partially) eaten.
+        remaining_buy = state.book_offers(XRP, USD)
+        assert not remaining_buy or remaining_buy[0].taker_gets.to_float() < 100
+
+    def test_zero_volume_rejected(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        quote = bot.find_opportunities([USD])[0]
+        with pytest.raises(PaymentError):
+            bot.execute(quote, xrp_budget=0)
+
+    def test_harvest_drives_market_efficient(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 100, XRP, 11_000)
+        bot = ArbitrageBot(state, bot_account)
+        results = bot.harvest([USD], xrp_budget=50_000, max_cycles=5)
+        assert results
+        # After harvesting, no profitable cycle remains.
+        assert bot.find_opportunities([USD]) == []
+
+    def test_harvest_on_efficient_market_is_empty(self, market):
+        state, bot_account, maker_a, maker_b = market
+        place(state, maker_a, 1, XRP, 10_000, USD, 100)
+        place(state, maker_b, 2, USD, 110, XRP, 10_000)
+        bot = ArbitrageBot(state, bot_account)
+        assert bot.harvest([USD], xrp_budget=10_000) == []

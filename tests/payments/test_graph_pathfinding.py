@@ -1,0 +1,170 @@
+"""Tests for the trust graph and payment path finding."""
+
+import pytest
+
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import USD
+from repro.ledger.state import LedgerState
+from repro.payments.graph import TrustGraph, path_bottleneck
+from repro.payments.pathfinding import PathPlan, plan_payment, shortest_path
+
+
+def usd(value):
+    return Amount.from_value(USD, value)
+
+
+def build_chain(names, limit=100.0):
+    """A trust chain: each account trusts its predecessor for `limit` USD,
+    so value flows left to right."""
+    state = LedgerState()
+    accounts = [account_from_name(name, namespace="chain") for name in names]
+    for account in accounts:
+        state.create_account(account, 10 ** 9)
+    for prev, node in zip(accounts, accounts[1:]):
+        state.set_trust(node, prev, usd(limit))
+    return state, accounts
+
+
+class TestTrustGraph:
+    def test_successors_new_debt(self):
+        state, accounts = build_chain(["a", "b"])
+        graph = TrustGraph(state, USD)
+        edges = list(graph.successors(accounts[0]))
+        assert len(edges) == 1
+        assert edges[0].payee == accounts[1]
+        assert edges[0].capacity == pytest.approx(100.0)
+
+    def test_successors_settle_direction(self):
+        state, accounts = build_chain(["a", "b"])
+        state.apply_hop(accounts[0], accounts[1], usd(60))
+        graph = TrustGraph(state, USD)
+        # b can now pay a by settling 60 of debt.
+        edges = list(graph.successors(accounts[1]))
+        assert edges and edges[0].payee == accounts[0]
+        assert edges[0].capacity == pytest.approx(60.0)
+
+    def test_capacity_reflects_live_state(self):
+        state, accounts = build_chain(["a", "b"])
+        graph = TrustGraph(state, USD)
+        assert graph.capacity(accounts[0], accounts[1]) == pytest.approx(100)
+        state.apply_hop(accounts[0], accounts[1], usd(30))
+        assert graph.capacity(accounts[0], accounts[1]) == pytest.approx(70)
+
+    def test_reachability(self):
+        state, accounts = build_chain(["a", "b", "c", "d"])
+        graph = TrustGraph(state, USD)
+        assert accounts[3] in graph.reachable_within(accounts[0], 3)
+        assert accounts[3] not in graph.reachable_within(accounts[0], 2)
+
+    def test_can_relay_respects_noripple(self):
+        state, accounts = build_chain(["a", "b", "c"])
+        graph = TrustGraph(state, USD)
+        assert graph.can_relay(accounts[1])
+        state.account(accounts[1]).allows_rippling = False
+        assert not graph.can_relay(accounts[1])
+
+
+class TestShortestPath:
+    def test_direct(self):
+        state, accounts = build_chain(["a", "b"])
+        graph = TrustGraph(state, USD)
+        assert shortest_path(graph, accounts[0], accounts[1]) == accounts[:2]
+
+    def test_multi_hop(self):
+        state, accounts = build_chain(["a", "b", "c", "d"])
+        graph = TrustGraph(state, USD)
+        assert shortest_path(graph, accounts[0], accounts[3]) == accounts
+
+    def test_hop_limit(self):
+        state, accounts = build_chain(["a", "b", "c", "d", "e"])
+        graph = TrustGraph(state, USD)
+        assert shortest_path(graph, accounts[0], accounts[4], max_intermediate_hops=2) is None
+        assert shortest_path(graph, accounts[0], accounts[4], max_intermediate_hops=3) is not None
+
+    def test_no_path(self):
+        state, accounts = build_chain(["a", "b"])
+        lonely = account_from_name("lonely", namespace="chain")
+        state.create_account(lonely, 10 ** 9)
+        graph = TrustGraph(state, USD)
+        assert shortest_path(graph, accounts[0], lonely) is None
+
+    def test_residual_blocks_saturated_hop(self):
+        state, accounts = build_chain(["a", "b"])
+        graph = TrustGraph(state, USD)
+        residual = {(accounts[0], accounts[1]): 100.0}
+        assert shortest_path(graph, accounts[0], accounts[1], residual=residual) is None
+
+    def test_noripple_node_blocks_transit_but_not_endpoint(self):
+        state, accounts = build_chain(["a", "b", "c"])
+        state.account(accounts[1]).allows_rippling = False
+        graph = TrustGraph(state, USD)
+        # b cannot relay a -> c ...
+        assert shortest_path(graph, accounts[0], accounts[2]) is None
+        # ... but can still be paid directly.
+        assert shortest_path(graph, accounts[0], accounts[1]) is not None
+
+
+class TestPlanPayment:
+    def test_single_path_plan(self):
+        state, accounts = build_chain(["a", "b", "c"])
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, accounts[0], accounts[2], 50.0)
+        assert plan.is_complete_for(50.0)
+        assert plan.parallel_paths == 1
+        assert plan.max_intermediate_hops == 1
+
+    def test_bottleneck_respected(self):
+        state, accounts = build_chain(["a", "b", "c"], limit=30.0)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, accounts[0], accounts[2], 50.0)
+        assert not plan.is_complete_for(50.0)
+        assert plan.total == pytest.approx(30.0)
+
+    def test_parallel_paths_split(self):
+        # Two disjoint 1-intermediate routes of 40 each; 60 needs both.
+        state = LedgerState()
+        names = ["src", "m1", "m2", "dst"]
+        accounts = {n: account_from_name(n, namespace="par") for n in names}
+        for account in accounts.values():
+            state.create_account(account, 10 ** 9)
+        for mid in ("m1", "m2"):
+            state.set_trust(accounts[mid], accounts["src"], usd(40))
+            state.set_trust(accounts["dst"], accounts[mid], usd(40))
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, accounts["src"], accounts["dst"], 60.0)
+        assert plan.is_complete_for(60.0)
+        assert plan.parallel_paths == 2
+        assert sorted(plan.amounts, reverse=True) == [pytest.approx(40.0), pytest.approx(20.0)]
+
+    def test_max_parallel_paths_cap(self):
+        state = LedgerState()
+        src = account_from_name("src", namespace="cap")
+        dst = account_from_name("dst", namespace="cap")
+        state.create_account(src, 10 ** 9)
+        state.create_account(dst, 10 ** 9)
+        mids = []
+        for i in range(8):
+            mid = account_from_name(f"m{i}", namespace="cap")
+            state.create_account(mid, 10 ** 9)
+            state.set_trust(mid, src, usd(10))
+            state.set_trust(dst, mid, usd(10))
+            mids.append(mid)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, src, dst, 80.0, max_parallel_paths=6)
+        assert plan.parallel_paths == 6
+        assert plan.total == pytest.approx(60.0)
+
+    def test_bottleneck_helper(self):
+        state, accounts = build_chain(["a", "b", "c"], limit=30.0)
+        state.apply_hop(accounts[0], accounts[1], usd(10))
+        graph = TrustGraph(state, USD)
+        assert path_bottleneck(graph, accounts) == pytest.approx(20.0)
+
+    def test_empty_plan_for_unreachable(self):
+        state, accounts = build_chain(["a", "b"])
+        lonely = account_from_name("x", namespace="chain")
+        state.create_account(lonely, 10 ** 9)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, accounts[0], lonely, 10.0)
+        assert plan.parallel_paths == 0 and plan.total == 0.0

@@ -1,0 +1,136 @@
+"""Tests for order books and cross-currency bridge planning."""
+
+import pytest
+
+from repro.errors import OfferError
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import BTC, EUR, USD, XRP
+from repro.ledger.offers import Offer
+from repro.ledger.state import LedgerState
+from repro.payments.bridging import plan_bridge, plan_same_currency_detour
+from repro.payments.orderbook import OrderBook
+
+
+@pytest.fixture()
+def market():
+    state = LedgerState()
+    makers = [account_from_name(f"mm{i}", namespace="book") for i in range(3)]
+    for maker in makers:
+        state.create_account(maker, 10 ** 12)
+    return state, makers
+
+
+def place(state, maker, seq, pays_cur, pays, gets_cur, gets):
+    offer = Offer(
+        owner=maker,
+        sequence=seq,
+        taker_pays=Amount.from_value(pays_cur, pays),
+        taker_gets=Amount.from_value(gets_cur, gets),
+    )
+    state.place_offer(offer)
+    return offer
+
+
+class TestOrderBook:
+    def test_best_quality(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 120, EUR, 100)  # 1.2
+        place(state, makers[1], 2, USD, 110, EUR, 100)  # 1.1
+        book = OrderBook(state, USD, EUR)
+        assert book.best_quality() == pytest.approx(1.1)
+
+    def test_same_currency_book_rejected(self, market):
+        state, _ = market
+        with pytest.raises(OfferError):
+            OrderBook(state, USD, USD)
+
+    def test_depth(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 120, EUR, 100)
+        place(state, makers[1], 2, USD, 110, EUR, 50)
+        assert OrderBook(state, USD, EUR).depth_gets() == pytest.approx(150)
+
+    def test_quote_walks_best_first(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 120, EUR, 100)  # 1.2
+        place(state, makers[1], 2, USD, 110, EUR, 100)  # 1.1
+        quote = OrderBook(state, USD, EUR).quote_gets(150)
+        assert quote.total_gets == pytest.approx(150)
+        # 100 at 1.1 + 50 at 1.2
+        assert quote.total_pays == pytest.approx(110 + 60)
+        assert quote.fills[0].offer_sequence == 2
+
+    def test_quote_partial_when_shallow(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 110, EUR, 100)
+        quote = OrderBook(state, USD, EUR).quote_gets(500)
+        assert quote.total_gets == pytest.approx(100)
+
+    def test_consume_mutates_offers(self, market):
+        state, makers = market
+        offer = place(state, makers[0], 1, USD, 110, EUR, 100)
+        OrderBook(state, USD, EUR).consume_gets(40)
+        assert offer.taker_gets.to_float() == pytest.approx(60)
+
+    def test_consume_shortfall_raises(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 110, EUR, 100)
+        with pytest.raises(OfferError):
+            OrderBook(state, USD, EUR).consume_gets(101)
+
+
+class TestBridgePlanning:
+    def test_direct_bridge(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 115, EUR, 100)
+        plan = plan_bridge(state, USD, EUR, 50)
+        assert plan is not None and len(plan.steps) == 1
+        assert plan.steps[0].owner == makers[0]
+        assert plan.source_cost == pytest.approx(57.5)
+
+    def test_auto_bridge_via_xrp(self, market):
+        state, makers = market
+        # No direct USD->EUR book, but USD->XRP and XRP->EUR exist.
+        place(state, makers[0], 1, USD, 100, XRP, 12000)
+        place(state, makers[1], 2, XRP, 13000, EUR, 100)
+        plan = plan_bridge(state, USD, EUR, 50)
+        assert plan is not None and len(plan.steps) == 2
+        assert plan.steps[0].gets.currency == XRP
+
+    def test_cheapest_option_wins(self, market):
+        state, makers = market
+        # Direct at effective rate 1.3; via XRP at ~1.08 — XRP should win.
+        place(state, makers[0], 1, USD, 130, EUR, 100)
+        place(state, makers[1], 2, USD, 100, XRP, 13000)
+        place(state, makers[2], 3, XRP, 14000, EUR, 100)
+        plan = plan_bridge(state, USD, EUR, 50)
+        assert len(plan.steps) == 2
+
+    def test_no_liquidity_returns_none(self, market):
+        state, _ = market
+        assert plan_bridge(state, USD, EUR, 50) is None
+
+    def test_same_currency_is_empty_plan(self, market):
+        state, _ = market
+        plan = plan_bridge(state, USD, USD, 50)
+        assert plan is not None and plan.is_empty
+
+    def test_offer_too_small_is_skipped(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 11, EUR, 10)   # too small for 50
+        place(state, makers[1], 2, USD, 130, EUR, 100)  # deep enough
+        plan = plan_bridge(state, USD, EUR, 50)
+        assert plan.steps[0].owner == makers[1]
+
+    def test_detour_needs_both_legs(self, market):
+        state, makers = market
+        place(state, makers[0], 1, USD, 100, XRP, 12000)
+        assert plan_same_currency_detour(state, USD, 50) is None
+        place(state, makers[1], 2, XRP, 13000, USD, 100)
+        detour = plan_same_currency_detour(state, USD, 50)
+        assert detour is not None and len(detour.steps) == 2
+
+    def test_detour_never_for_xrp(self, market):
+        state, _ = market
+        assert plan_same_currency_detour(state, XRP, 50) is None

@@ -1,0 +1,162 @@
+"""Property-based tests for path finding and order-book matching."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.currency import EUR, USD
+from repro.ledger.offers import Offer
+from repro.ledger.state import LedgerState
+from repro.payments.graph import TrustGraph
+from repro.payments.orderbook import OrderBook
+from repro.payments.pathfinding import plan_payment
+
+# Random small credit networks: limits per edge of a layered graph.
+layer_limits = st.lists(
+    st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1, max_size=4),
+    min_size=1,
+    max_size=3,
+)
+
+
+def build_layered(limits):
+    """Source -> layer1 -> ... -> sink, trust limits from the strategy."""
+    state = LedgerState()
+    source = account_from_name("prop-src", namespace="pp")
+    sink = account_from_name("prop-sink", namespace="pp")
+    state.create_account(source, 10 ** 9)
+    state.create_account(sink, 10 ** 9)
+    previous = [source]
+    for layer_index, layer in enumerate(limits):
+        nodes = []
+        for node_index, limit in enumerate(layer):
+            node = account_from_name(
+                f"prop-{layer_index}-{node_index}", namespace="pp"
+            )
+            state.create_account(node, 10 ** 9)
+            for upstream in previous:
+                state.set_trust(node, upstream, Amount.from_value(USD, limit))
+            nodes.append(node)
+        previous = nodes
+    for upstream in previous:
+        state.set_trust(sink, upstream, Amount.from_value(USD, 100.0))
+    return state, source, sink
+
+
+class TestPathfindingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(layer_limits, st.floats(min_value=1.0, max_value=400.0))
+    def test_plan_never_overshoots(self, limits, amount):
+        state, source, sink = build_layered(limits)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, source, sink, amount)
+        assert plan.total <= amount * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer_limits, st.floats(min_value=1.0, max_value=400.0))
+    def test_planned_paths_respect_capacity(self, limits, amount):
+        state, source, sink = build_layered(limits)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, source, sink, amount)
+        # Sum of planned flow per hop never exceeds that hop's capacity.
+        flow = {}
+        for path, value in zip(plan.paths, plan.amounts):
+            for a, b in zip(path, path[1:]):
+                flow[(a, b)] = flow.get((a, b), 0.0) + value
+        for (a, b), used in flow.items():
+            assert used <= graph.capacity(a, b) * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer_limits, st.floats(min_value=1.0, max_value=400.0))
+    def test_paths_are_simple_and_endpoints_correct(self, limits, amount):
+        state, source, sink = build_layered(limits)
+        graph = TrustGraph(state, USD)
+        plan = plan_payment(graph, source, sink, amount)
+        for path in plan.paths:
+            assert path[0] == source and path[-1] == sink
+            assert len(set(path)) == len(path)  # no cycles
+
+    @settings(max_examples=30, deadline=None)
+    @given(layer_limits)
+    def test_plan_is_deterministic(self, limits):
+        state_a, source_a, sink_a = build_layered(limits)
+        state_b, source_b, sink_b = build_layered(limits)
+        plan_a = plan_payment(TrustGraph(state_a, USD), source_a, sink_a, 50.0)
+        plan_b = plan_payment(TrustGraph(state_b, USD), source_b, sink_b, 50.0)
+        assert plan_a.amounts == plan_b.amounts
+        assert plan_a.paths == plan_b.paths
+
+
+offer_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=50.0),    # quality (pays per gets)
+        st.floats(min_value=1.0, max_value=500.0),   # gets size
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestOrderBookProperties:
+    def build_book(self, specs):
+        state = LedgerState()
+        maker = account_from_name("prop-maker", namespace="pp")
+        state.create_account(maker, 10 ** 9)
+        for index, (quality, gets) in enumerate(specs):
+            state.place_offer(
+                Offer(
+                    owner=maker,
+                    sequence=index + 1,
+                    taker_pays=Amount.from_value(USD, quality * gets),
+                    taker_gets=Amount.from_value(EUR, gets),
+                )
+            )
+        return OrderBook(state, USD, EUR)
+
+    @settings(max_examples=50, deadline=None)
+    @given(offer_specs, st.floats(min_value=0.5, max_value=2000.0))
+    def test_quote_never_exceeds_depth(self, specs, wanted):
+        book = self.build_book(specs)
+        depth = book.depth_gets()
+        quote = book.quote_gets(wanted)
+        assert quote.total_gets <= min(wanted, depth) * (1 + 1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(offer_specs, st.floats(min_value=0.5, max_value=2000.0))
+    def test_quote_walks_best_first(self, specs, wanted):
+        book = self.build_book(specs)
+        quote = book.quote_gets(wanted)
+        rates = [fill.rate for fill in quote.fills if fill.gets.to_float() > 0]
+        # Ledger precision (1e-6) introduces epsilon jitter between fills
+        # of equal-quality offers; ordering must hold beyond that noise.
+        assert all(a <= b + 1e-5 * max(1.0, b) for a, b in zip(rates, rates[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(offer_specs)
+    def test_consume_matches_quote(self, specs):
+        wanted = self.build_book(specs).depth_gets() * 0.5
+        if wanted <= 0:
+            return
+        quote_book = self.build_book(specs)
+        consume_book = self.build_book(specs)
+        quoted = quote_book.quote_gets(wanted)
+        consumed = consume_book.consume_gets(wanted)
+        assert abs(consumed.total_gets - quoted.total_gets) < max(
+            1e-5, quoted.total_gets * 1e-5
+        )
+        assert abs(consumed.total_pays - quoted.total_pays) < max(
+            1e-4, quoted.total_pays * 1e-4
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(offer_specs)
+    def test_consumption_conserves_value_at_offer_rates(self, specs):
+        book = self.build_book(specs)
+        wanted = book.depth_gets() * 0.7
+        if wanted <= 0:
+            return
+        result = book.consume_gets(wanted)
+        recomputed = sum(fill.gets.to_float() * fill.rate for fill in result.fills)
+        assert abs(recomputed - result.total_pays) < max(1e-4, result.total_pays * 1e-4)

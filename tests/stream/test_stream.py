@@ -1,0 +1,154 @@
+"""Tests for the validation stream: server, collector, periods."""
+
+import pytest
+
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.faults import active
+from repro.consensus.proposals import Validation
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.errors import StreamError
+from repro.stream.collector import StreamCollector
+from repro.stream.events import StreamEvent
+from repro.stream.periods import (
+    DEFAULT_SCALE,
+    PERIODS,
+    PERSISTENT_ACTIVE,
+    RIPPLE_LABS,
+    ROUNDS_PER_TWO_WEEKS,
+    period,
+    rounds_for_scale,
+)
+from repro.stream.server import StreamServer
+
+
+def validation(name="v", sequence=1, time=100, network_id=0):
+    return Validation(
+        validator=name,
+        sequence=sequence,
+        page_hash=bytes([sequence % 256]) * 32,
+        sign_time=time,
+        network_id=network_id,
+    )
+
+
+class TestServer:
+    def test_relays_with_delay(self):
+        server = StreamServer(mean_delay=2.0, loss_rate=0.0, seed=1)
+        events = []
+        server.subscribe(events.append)
+        server.on_validation(validation(time=100))
+        assert len(events) == 1
+        assert events[0].received_at >= 100
+
+    def test_loss(self):
+        server = StreamServer(loss_rate=1.0, seed=1)
+        events = []
+        server.subscribe(events.append)
+        for _ in range(10):
+            server.on_validation(validation())
+        assert events == []
+        assert server.dropped == 10
+
+    def test_attach_to_engine(self):
+        names = [f"v{i}" for i in range(5)]
+        unl = UNL.of(names)
+        validators = [Validator(n, unl, active(availability=1.0)) for n in names]
+        engine = ConsensusEngine(validators, master_unl=unl, seed=0)
+        server = StreamServer(loss_rate=0.0, seed=0)
+        collector = StreamCollector()
+        server.subscribe(collector)
+        server.attach(engine)
+        report = engine.run(20)
+        assert len(collector) == sum(s.total_pages for s in report.stats.values())
+
+    def test_requires_subscribers(self):
+        with pytest.raises(StreamError):
+            StreamServer().require_subscribers()
+
+
+class TestCollector:
+    def fill(self, collector, count=5, name="v"):
+        for i in range(count):
+            collector.record(StreamEvent(validation(name, sequence=i), received_at=i * 10))
+
+    def test_total_counts(self):
+        collector = StreamCollector()
+        self.fill(collector, 5, "a")
+        self.fill(collector, 3, "b")
+        assert collector.total_counts() == {"a": 5, "b": 3}
+        assert collector.validators_seen() == ["a", "b"]
+
+    def test_window_filtering(self):
+        collector = StreamCollector(window_start=15, window_end=35)
+        self.fill(collector, 6)
+        # received_at values 0,10,20,30,40,50 -> only 20 and 30 inside.
+        assert len(collector) == 2
+
+    def test_valid_counts_against_chain(self):
+        collector = StreamCollector()
+        self.fill(collector, 5, "a")
+        main_chain = [bytes([1]) * 32, bytes([3]) * 32]
+        assert collector.valid_counts(main_chain) == {"a": 2}
+
+    def test_pages_by_validator_multiplicity(self):
+        collector = StreamCollector()
+        collector.record(StreamEvent(validation("a", 1), 0))
+        collector.record(StreamEvent(validation("a", 1), 1))
+        assert len(collector.pages_by_validator()["a"]) == 2
+
+    def test_require_data(self):
+        with pytest.raises(StreamError):
+            StreamCollector().require_data()
+
+    def test_event_record_form(self):
+        event = StreamEvent(validation("v", 2, 100), received_at=103)
+        record = event.to_record()
+        assert record["validator"] == "v"
+        assert record["received_at"] == 103
+        assert record["signed"] is False
+
+
+class TestPeriods:
+    def test_three_periods_defined(self):
+        assert [spec.key for spec in PERIODS] == ["dec2015", "jul2016", "nov2016"]
+
+    def test_lookup(self):
+        assert period("jul2016").key == "jul2016"
+        with pytest.raises(KeyError):
+            period("feb2020")
+
+    def test_observed_counts_match_paper(self):
+        # Paper: 29 others in Dec'15, 28 in Jul'16, 34 in Nov'16.
+        assert period("dec2015").observed_count() == 29
+        assert period("jul2016").observed_count() == 28
+        assert period("nov2016").observed_count() == 34
+
+    def test_persistent_actives_in_every_roster(self):
+        for spec in PERIODS:
+            for name in PERSISTENT_ACTIVE:
+                assert name in spec.roster, (spec.key, name)
+
+    def test_total_validators_seen_about_70(self):
+        names = set()
+        for spec in PERIODS:
+            names.update(spec.validator_names())
+        assert 60 <= len(names) <= 85  # paper: 70
+
+    def test_rosters_build(self):
+        for spec in PERIODS:
+            validators = spec.build_validators(rounds=1000)
+            assert len(validators) == len(RIPPLE_LABS) + spec.observed_count()
+            labs = [v for v in validators if v.is_ripple_labs]
+            assert len(labs) == 5
+
+    def test_testnet_validators_share_fork_unl(self):
+        validators = period("jul2016").build_validators(rounds=1000)
+        testnet = [v for v in validators if v.name.startswith("testnet")]
+        assert len(testnet) == 5
+        assert all(v.network_id == 1 for v in testnet)
+        assert all(set(v.unl.members) == {t.name for t in testnet} for v in testnet)
+
+    def test_rounds_for_scale(self):
+        assert rounds_for_scale(1.0) == ROUNDS_PER_TWO_WEEKS
+        assert rounds_for_scale(DEFAULT_SCALE) == ROUNDS_PER_TWO_WEEKS // 48

@@ -1,0 +1,85 @@
+"""Tests for the what-if economy scenarios."""
+
+import pytest
+
+from repro.analysis import TransactionDataset, currency_ranking, path_structure
+from repro.analysis.market_makers import offer_concentration
+from repro.synthetic.generator import LedgerHistoryGenerator
+from repro.synthetic.scenarios import (
+    NoSpamEconomyConfig,
+    build_no_spam,
+    dense_makers_config,
+    late_era_config,
+    no_spam_config,
+    no_spam_currency_weights,
+)
+from repro.synthetic.workload import payment_counts
+
+
+@pytest.fixture(scope="module")
+def no_spam_history():
+    return LedgerHistoryGenerator(build_no_spam(n_payments=2_500)).generate()
+
+
+class TestNoSpam:
+    def test_weights_renormalized(self):
+        weights = no_spam_currency_weights()
+        assert "CCK" not in weights and "MTL" not in weights
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_config_weights_total_one(self):
+        config = build_no_spam(2_000)
+        assert sum(config.currency_weights().values()) == pytest.approx(1.0)
+
+    def test_counts_have_no_spam(self):
+        counts = payment_counts(build_no_spam(2_000))
+        assert counts["mtl_spam"] == 0
+        assert counts["long_spam"] == 0
+        assert counts["cck"] == 0
+        assert counts["spin"] == 0
+        assert counts["zero"] == 0
+        assert sum(counts.values()) == 2_000
+
+    def test_no_spam_history_is_clean(self, no_spam_history):
+        dataset = TransactionDataset.from_records(no_spam_history.records)
+        ranking = currency_ranking(dataset)
+        codes = [usage.code for usage in ranking]
+        assert "CCK" not in codes and "MTL" not in codes
+        structure = path_structure(dataset)
+        # No 8-hop spam spike, no 44-hop outlier.
+        assert structure.hops_histogram.get(8, 0) == 0
+        assert structure.hops_histogram.get(44, 0) == 0
+        assert structure.parallel_histogram.get(6, 0) == 0
+
+    def test_no_spam_xrp_share_rises(self, no_spam_history):
+        dataset = TransactionDataset.from_records(no_spam_history.records)
+        ranking = currency_ranking(dataset)
+        assert ranking[0].code == "XRP"
+        # With the 30% spam mass gone, XRP's share grows well beyond 49%.
+        assert ranking[0].share > 0.6
+
+    def test_no_spam_config_helper(self):
+        config = no_spam_config()
+        assert config.ripple_spin_share == 0.0
+        assert config.account_zero_share == 0.0
+
+
+class TestOtherScenarios:
+    def test_late_era_window(self):
+        config = late_era_config(1_000)
+        history = LedgerHistoryGenerator(config).generate()
+        timestamps = [record.timestamp for record in history.records]
+        assert min(timestamps) >= config.start_time
+
+    def test_dense_makers_flatter_concentration(self):
+        dense = LedgerHistoryGenerator(dense_makers_config(2_000)).generate()
+        concentration = offer_concentration(dense.offer_records)
+        # With 240 makers and a flat exponent, the top 10 hold much less.
+        assert concentration.share_of_top(10) < 0.35
+
+    def test_scenarios_are_cache_distinct(self):
+        # Different scenario types with equal fields must not collide in
+        # the generate_history cache (hash includes the subclass).
+        base = build_no_spam(2_000)
+        assert isinstance(base, NoSpamEconomyConfig)
+        assert base.currency_weights() != late_era_config(2_000).currency_weights()

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action
+            for action in parser._subparsers._group_actions  # noqa: SLF001
+        }
+        choices = actions["command"].choices
+        for command in (
+            "figures", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "table2", "generate", "attack",
+        ):
+            assert command in choices
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+SMALL = ["--payments", "1200", "--seed", "5"]
+
+
+class TestCommands:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table2" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "<Am; Tsc; C; D>" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", *SMALL, "--top", "5"]) == 0
+        assert "XRP" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", *SMALL]) == 0
+        assert "hops" in capsys.readouterr().out
+
+    def test_fig2_single_period(self, capsys):
+        assert main(["fig2", "--period", "dec2015", "--scale", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "December 2015" in out and "R1" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", *SMALL]) == 0
+        assert "Cross-currency" in capsys.readouterr().out
+
+    def test_generate_and_reload(self, capsys, tmp_path):
+        out_path = str(tmp_path / "dump.jsonl.gz")
+        assert main(["generate", *SMALL, "--out", out_path]) == 0
+        assert "wrote 1200 payments" in capsys.readouterr().out
+        # fig3 can consume the archive instead of regenerating.
+        assert main(["fig3", "--archive", out_path]) == 0
+        assert "information gain" in capsys.readouterr().out
+
+    def test_attack(self, capsys):
+        code = main(["attack", *SMALL])
+        out = capsys.readouterr().out
+        assert "observed:" in out
+        assert code in (0, 1)  # identified, or honestly ambiguous
+
+
+class TestExtensionCommands:
+    def test_defenses(self, capsys):
+        assert main(["defenses", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "per-payment-wallets" in out
+
+    def test_rewards(self, capsys):
+        assert main(["rewards", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "equilibrium validators" in out
+
+
+class TestRemainingCommands:
+    def test_fig5(self, capsys):
+        assert main(["fig5", *SMALL]) == 0
+        assert "survival" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", *SMALL, "--top", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "offer concentration" in out
+
+    def test_fig2_all_periods(self, capsys):
+        assert main(["fig2", "--scale", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "December 2015" in out and "November 2016" in out

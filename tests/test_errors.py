@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    @pytest.mark.parametrize(
+        ("child", "parent"),
+        [
+            (errors.InvalidAddressError, errors.LedgerError),
+            (errors.InvalidAmountError, errors.LedgerError),
+            (errors.TrustLineError, errors.LedgerError),
+            (errors.SignatureError, errors.TransactionError),
+            (errors.NoPathError, errors.PaymentError),
+            (errors.PathDryError, errors.PaymentError),
+            (errors.OfferError, errors.PaymentError),
+            (errors.QuorumError, errors.ConsensusError),
+        ],
+    )
+    def test_subsystem_nesting(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_catching_the_base_covers_domain_failures(self):
+        from repro.ledger.accounts import decode_account_id
+
+        with pytest.raises(errors.ReproError):
+            decode_account_id("not-an-address")

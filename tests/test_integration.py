@@ -1,0 +1,163 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TransactionDataset,
+    currency_ranking,
+    figure5_curves,
+    path_structure,
+    table2,
+    top_intermediaries,
+)
+from repro.consensus.engine import ConsensusEngine
+from repro.consensus.faults import active, forked, lagging
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+from repro.core import Deanonymizer, Observation, SideChannelAttack
+from repro.core.resolution import FeatureList
+from repro.core.robustness import run_period
+from repro.stream.collector import StreamCollector
+from repro.stream.periods import period
+from repro.stream.server import StreamServer
+
+
+class TestMeasurementPipeline:
+    """Engine -> stream server -> collector -> ledger cross-reference,
+    exactly the paper's Section IV apparatus, on a tiny roster."""
+
+    def test_stream_counts_match_engine_counts(self):
+        names = [f"v{i}" for i in range(6)]
+        unl = UNL.of(names)
+        validators = [Validator(n, unl, active(availability=1.0)) for n in names]
+        validators.append(Validator("fork", UNL.of(["fork"]), forked(network_id=1)))
+        validators.append(Validator("lag", unl, lagging()))
+        engine = ConsensusEngine(validators, master_unl=unl, seed=1)
+        server = StreamServer(loss_rate=0.0, seed=2)
+        collector = StreamCollector()
+        server.subscribe(collector)
+        server.attach(engine)
+        report = engine.run(60)
+
+        totals = collector.total_counts()
+        valids = collector.valid_counts(report.main_chain_hashes)
+        for name in names:
+            assert totals[name] == report.stats[name].total_pages
+            assert valids.get(name, 0) == report.stats[name].valid_pages
+        assert valids.get("fork", 0) == 0
+
+    def test_lossy_stream_undercounts(self):
+        names = [f"v{i}" for i in range(5)]
+        unl = UNL.of(names)
+        validators = [Validator(n, unl, active(availability=1.0)) for n in names]
+        engine = ConsensusEngine(validators, master_unl=unl, seed=1)
+        server = StreamServer(loss_rate=0.3, seed=2)
+        collector = StreamCollector()
+        server.subscribe(collector)
+        server.attach(engine)
+        report = engine.run(40)
+        assert len(collector) < sum(s.total_pages for s in report.stats.values())
+
+
+class TestDeanonPipeline:
+    """Synthetic history -> dataset -> IG -> attack -> dossier."""
+
+    def test_end_to_end_attack_on_generated_history(self, history, dataset):
+        attack = SideChannelAttack(dataset, history.state)
+        rows = np.flatnonzero(dataset.kinds == "cck")
+        row = int(rows[5])
+        observation = Observation(
+            destination=dataset.accounts[int(dataset.destination_ids[row])],
+            currency="CCK",
+            amount=float(dataset.amounts[row]),
+            timestamp=int(dataset.timestamps[row]),
+        )
+        result = attack.run(observation)
+        truth = dataset.accounts[int(dataset.sender_ids[row])]
+        assert result.succeeded and result.sender == truth
+        # The dossier exposes the victim's whole financial life.
+        assert result.profile.payments_sent >= 1
+        assert result.profile.balances
+
+    def test_ig_depends_on_history_size(self, history):
+        """More history -> more collisions -> lower low-resolution IG."""
+        from repro.core.resolution import (
+            AmountResolution,
+            FeatureList,
+            TimeResolution,
+        )
+
+        low = FeatureList(AmountResolution.LOW, TimeResolution.DAYS, False, False)
+        full = TransactionDataset.from_records(history.records)
+        half = TransactionDataset.from_records(
+            history.records[: len(history.records) // 4]
+        )
+        ig_full = Deanonymizer(full).information_gain(low)
+        ig_half = Deanonymizer(half).information_gain(low)
+        assert ig_full.fraction <= ig_half.fraction + 0.02
+
+
+class TestAppendixPipelines:
+    def test_all_analyses_run_on_one_history(self, history, dataset):
+        assert currency_ranking(dataset)[0].code == "XRP"
+        assert path_structure(dataset).multi_hop_payments > 0
+        assert figure5_curves(dataset)["Global"].samples == len(dataset)
+        assert len(top_intermediaries(history, 10)) == 10
+        result = table2(history)
+        assert result.total.submitted > 0
+
+    def test_fig2_period_pipeline(self):
+        report = run_period(period("dec2015"), scale=1 / 2400, seed=3)
+        assert report.observations
+        assert report.availability > 0.5
+        labs_valid = sum(
+            obs.valid_pages for obs in report.observations if obs.is_ripple_labs
+        )
+        assert labs_valid > 0
+
+
+class TestLedgerConsensusIntegration:
+    """Transactions flow through consensus into a real page chain."""
+
+    def test_agreed_transactions_seal_into_chain(self):
+        from repro.ledger.accounts import account_from_name
+        from repro.ledger.amounts import Amount
+        from repro.ledger.pages import LedgerChain
+        from repro.ledger.transactions import Payment
+        from repro.ledger.currency import USD
+
+        sender = account_from_name("int-sender")
+        receiver = account_from_name("int-receiver")
+        transactions = {}
+
+        def tx_supplier(round_index, rng):
+            batch = [
+                Payment(
+                    account=sender,
+                    sequence=round_index * 10 + i,
+                    destination=receiver,
+                    amount=Amount.from_value(USD, 1 + i),
+                )
+                for i in range(3)
+            ]
+            for tx in batch:
+                transactions[tx.tx_hash] = tx
+            return frozenset(tx.tx_hash for tx in batch)
+
+        names = [f"v{i}" for i in range(5)]
+        unl = UNL.of(names)
+        validators = [Validator(n, unl, active(availability=1.0)) for n in names]
+        engine = ConsensusEngine(validators, master_unl=unl, seed=7, keep_outcomes=True)
+        report = engine.run(10, tx_supplier=tx_supplier)
+
+        chain = LedgerChain.with_genesis()
+        close_time = 0
+        for outcome in report.outcomes:
+            if not outcome.validated:
+                continue
+            close_time += 5
+            agreed = [transactions[h] for h in sorted(outcome.validated_tx_set)]
+            page = chain.seal(agreed, close_time=close_time)
+            assert page.tx_set_id is not None
+        assert chain.transaction_count() >= 3 * report.rounds_validated * 0.8

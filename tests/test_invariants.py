@@ -1,0 +1,107 @@
+"""Whole-economy invariants over the generated history.
+
+These are the conservation laws a credit-network ledger must satisfy no
+matter what the workload did — the deepest correctness net for the
+generator + engine + state stack:
+
+* XRP is conserved up to deliberate burning (fees);
+* IOU positions are zero-sum per currency (every credit is someone's debt);
+* every trust line's balance is within [0, limit];
+* per-record metadata is internally consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ledger.currency import Currency
+
+
+class TestXrpConservation:
+    def test_total_xrp_plus_burn_is_constant(self, history):
+        # The generator mints XRP only at account creation; afterwards every
+        # movement is a transfer or a burn.  Whatever happened across
+        # thousands of payments, nothing leaked.
+        total_now = history.state.total_xrp_drops()
+        burned = history.state.burned_fee_drops
+        snapshot = history.snapshot_state
+        total_snapshot = snapshot.total_xrp_drops() + snapshot.burned_fee_drops
+        assert total_now + burned == total_snapshot
+
+    def test_fees_were_actually_burned(self, history):
+        assert history.state.burned_fee_drops > 0
+
+
+class TestIouZeroSum:
+    def test_every_currency_nets_to_zero(self, history):
+        # Each trust line contributes +balance to the truster's position
+        # and -balance to the trustee's; summing iou_balance over every
+        # account must therefore cancel exactly — a strong end-to-end check
+        # of the per-account netting API.
+        state = history.state
+        for code in ("USD", "CCK", "MTL", "BTC", "EUR"):
+            currency = Currency(code)
+            net = 0.0
+            for account in state.accounts:
+                net += state.iou_balance(account, currency).to_float()
+            assert net == pytest.approx(0.0, abs=1e-3), code
+
+
+class TestTrustLineBounds:
+    def test_no_negative_balances(self, history):
+        for line in history.state.iter_trustlines():
+            assert not line.balance.is_negative
+
+    def test_balances_within_limits(self, history):
+        # The generator never lowers limits, so balance <= limit throughout.
+        violations = [
+            line
+            for line in history.state.iter_trustlines()
+            if line.balance.to_float() > line.limit.to_float() * (1 + 1e-9)
+        ]
+        assert violations == []
+
+
+class TestRecordConsistency:
+    def test_delivered_multi_hop_has_intermediaries(self, history):
+        for record in history.records:
+            if record.is_multi_hop:
+                assert len(record.intermediaries) >= 1
+                assert record.parallel_paths >= 1
+
+    def test_failed_payments_have_no_paths(self, history):
+        for record in history.records:
+            if not record.delivered:
+                assert record.intermediate_hops == 0
+                assert record.intermediaries == ()
+
+    def test_xrp_direct_records_have_no_intermediaries(self, history):
+        for record in history.records:
+            if record.is_xrp_direct and record.delivered:
+                assert record.intermediaries == ()
+
+    def test_sender_never_equals_destination(self, history):
+        assert all(r.sender != r.destination for r in history.records)
+
+    def test_timestamps_within_configured_span(self, history):
+        config = history.config
+        for record in history.records:
+            assert config.start_time <= record.timestamp <= config.end_time
+
+    def test_indices_unique_and_dense(self, history):
+        indices = sorted(record.index for record in history.records)
+        assert indices == list(range(len(history.records)))
+
+    def test_amounts_positive_at_ledger_precision(self, history):
+        amounts = np.array([record.amount for record in history.records])
+        assert (amounts > 0).all()
+        assert np.allclose(amounts, np.round(amounts, 6))
+
+    def test_cross_currency_only_on_fiat(self, history):
+        for record in history.records:
+            if record.cross_currency:
+                assert record.kind == "fiat"
+
+    def test_intermediaries_exclude_endpoints(self, history):
+        for record in history.records:
+            assert record.sender not in record.intermediaries
+            assert record.destination not in record.intermediaries

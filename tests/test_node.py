@@ -1,0 +1,262 @@
+"""Tests for the transaction applier and the full rippled-node facade."""
+
+import pytest
+
+from repro.ledger.accounts import account_from_name
+from repro.ledger.amounts import Amount
+from repro.ledger.apply import ApplyCode, TransactionApplier
+from repro.ledger.crypto import KeyPair
+from repro.ledger.currency import EUR, USD
+from repro.ledger.state import LedgerState
+from repro.ledger.transactions import (
+    AccountSet,
+    OfferCancel,
+    OfferCreate,
+    Payment,
+    TrustSet,
+)
+from repro.node import RippledNode, default_validators
+
+
+@pytest.fixture()
+def world():
+    """State with alice/bob/gateway wired for USD, and alice's keypair."""
+    state = LedgerState()
+    actors = {}
+    for name in ("alice", "bob", "gateway"):
+        account = account_from_name(name, namespace="node")
+        state.create_account(account, 10 ** 9)
+        actors[name] = account
+    state.set_trust(actors["alice"], actors["gateway"], Amount.from_value(USD, 1000))
+    state.set_trust(actors["bob"], actors["gateway"], Amount.from_value(USD, 1000))
+    state.apply_hop(actors["gateway"], actors["alice"], Amount.from_value(USD, 500))
+    keys = {name: KeyPair.from_seed(f"node-{name}".encode()) for name in actors}
+    return state, actors, keys
+
+
+def signed_payment(actors, keys, sequence=1, amount=50, sender="alice", dest="bob"):
+    tx = Payment(
+        account=actors[sender],
+        sequence=sequence,
+        destination=actors[dest],
+        amount=Amount.from_value(USD, amount),
+    )
+    tx.sign(keys[sender])
+    return tx
+
+
+class TestApplier:
+    def test_successful_payment(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        outcome = applier.apply(signed_payment(actors, keys))
+        assert outcome.code is ApplyCode.SUCCESS
+        assert outcome.fee_claimed == 10
+        assert state.iou_balance(actors["bob"], USD).to_float() == pytest.approx(50)
+
+    def test_unsigned_rejected(self, world):
+        state, actors, _ = world
+        applier = TransactionApplier(state)
+        tx = Payment(
+            account=actors["alice"], sequence=1,
+            destination=actors["bob"], amount=Amount.from_value(USD, 5),
+        )
+        assert applier.apply(tx).code is ApplyCode.BAD_SIGNATURE
+
+    def test_signature_optional_mode(self, world):
+        state, actors, _ = world
+        applier = TransactionApplier(state, require_signatures=False)
+        tx = Payment(
+            account=actors["alice"], sequence=1,
+            destination=actors["bob"], amount=Amount.from_value(USD, 5),
+        )
+        assert applier.apply(tx).code is ApplyCode.SUCCESS
+
+    def test_sequence_enforcement(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        assert applier.apply(signed_payment(actors, keys, sequence=1)).succeeded
+        # Replays fail; the future is retryable.
+        assert applier.apply(signed_payment(actors, keys, sequence=1)).code is (
+            ApplyCode.PAST_SEQUENCE
+        )
+        assert applier.apply(signed_payment(actors, keys, sequence=5)).code is (
+            ApplyCode.FUTURE_SEQUENCE
+        )
+        assert applier.apply(signed_payment(actors, keys, sequence=2)).succeeded
+
+    def test_tec_claims_fee_and_sequence(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        # 5000 USD exceeds alice's deposit: dry path, but fee is claimed.
+        outcome = applier.apply(signed_payment(actors, keys, amount=5000))
+        assert outcome.code is ApplyCode.PATH_FAILURE
+        assert outcome.code.applied_to_ledger
+        assert state.burned_fee_drops == 10
+        assert state.account(actors["alice"]).sequence == 2
+
+    def test_unknown_account(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        ghost = account_from_name("ghost", namespace="node")
+        tx = Payment(
+            account=ghost, sequence=1,
+            destination=actors["bob"], amount=Amount.from_value(USD, 5),
+        )
+        tx.sign(KeyPair.from_seed(b"ghost"))
+        assert applier.apply(tx).code is ApplyCode.UNKNOWN_ACCOUNT
+
+    def test_malformed_rejected_without_fee(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        tx = Payment(
+            account=actors["alice"], sequence=1,
+            destination=actors["alice"],  # to self: malformed
+            amount=Amount.from_value(USD, 5),
+        )
+        tx.sign(keys["alice"])
+        assert applier.apply(tx).code is ApplyCode.MALFORMED
+        assert state.burned_fee_drops == 0
+
+    def test_trust_set_applies(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        tx = TrustSet(
+            account=actors["bob"], sequence=1,
+            trustee=actors["gateway"], limit=Amount.from_value(EUR, 700),
+        )
+        tx.sign(keys["bob"])
+        assert applier.apply(tx).succeeded
+        assert state.trust_line(actors["bob"], actors["gateway"], EUR) is not None
+
+    def test_offer_lifecycle(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        create = OfferCreate(
+            account=actors["gateway"], sequence=1,
+            taker_pays=Amount.from_value(USD, 110),
+            taker_gets=Amount.from_value(EUR, 100),
+        )
+        create.sign(keys["gateway"])
+        assert applier.apply(create).succeeded
+        assert state.book_offers(USD, EUR)
+        cancel = OfferCancel(
+            account=actors["gateway"], sequence=2, offer_sequence=1
+        )
+        cancel.sign(keys["gateway"])
+        assert applier.apply(cancel).succeeded
+        assert not state.book_offers(USD, EUR)
+
+    def test_cancel_missing_offer_is_tec(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        cancel = OfferCancel(account=actors["alice"], sequence=1, offer_sequence=9)
+        cancel.sign(keys["alice"])
+        assert applier.apply(cancel).code is ApplyCode.NO_EFFECT
+
+    def test_account_set_noop(self, world):
+        state, actors, keys = world
+        applier = TransactionApplier(state)
+        tx = AccountSet(account=actors["alice"], sequence=1, flags=("default-ripple",))
+        tx.sign(keys["alice"])
+        assert applier.apply(tx).succeeded
+
+
+class TestRippledNode:
+    def build_node(self, world):
+        state, actors, keys = world
+        return RippledNode(state=state, seed=9), actors, keys
+
+    def test_submit_and_close(self, world):
+        node, actors, keys = self.build_node(world)
+        tx = signed_payment(actors, keys)
+        assert node.submit(tx) is ApplyCode.SUCCESS
+        assert node.pool_size == 1
+        ledger = node.close_ledger()
+        assert ledger is not None and ledger.success_count == 1
+        assert node.pool_size == 0
+        assert len(node.chain) == 2
+        assert node.state.iou_balance(actors["bob"], USD).to_float() == pytest.approx(50)
+
+    def test_close_time_is_the_payment_timestamp(self, world):
+        # Signed transactions are immutable; the authoritative timestamp is
+        # the sealing page's close time, read back from the chain.
+        node, actors, keys = self.build_node(world)
+        tx = signed_payment(actors, keys)
+        node.submit(tx)
+        ledger = node.close_ledger()
+        pairs = [
+            (page, recorded)
+            for page, recorded in node.chain.iter_transactions()
+            if recorded.tx_hash == tx.tx_hash
+        ]
+        assert len(pairs) == 1
+        page, recorded = pairs[0]
+        assert page.close_time == ledger.page.close_time
+        assert recorded.verify_signature()
+
+    def test_bad_submissions_rejected_at_the_door(self, world):
+        node, actors, keys = self.build_node(world)
+        unsigned = Payment(
+            account=actors["alice"], sequence=1,
+            destination=actors["bob"], amount=Amount.from_value(USD, 5),
+        )
+        assert node.submit(unsigned) is ApplyCode.BAD_SIGNATURE
+        assert node.pool_size == 0
+        assert node.rejected
+
+    def test_canonical_order_is_deterministic(self, world):
+        node, actors, keys = self.build_node(world)
+        txs = [signed_payment(actors, keys, sequence=i, amount=1 + i) for i in (1, 2, 3)]
+        for tx in reversed(txs):  # submit out of order
+            node.submit(tx)
+        ledger = node.close_ledger()
+        hashes = [item.transaction.tx_hash for item in ledger.applied]
+        assert hashes == sorted(hashes)
+
+    def test_out_of_order_sequences_eventually_apply(self, world):
+        node, actors, keys = self.build_node(world)
+        # Canonical (hash) order may try seq 2 before seq 1; the retryable
+        # transaction stays pooled and applies at the next close.
+        first = signed_payment(actors, keys, sequence=1, amount=10)
+        second = signed_payment(actors, keys, sequence=2, amount=20)
+        node.submit(second)
+        node.submit(first)
+        node.run(3)
+        assert node.state.iou_balance(actors["bob"], USD).to_float() == pytest.approx(30)
+
+    def test_tec_transactions_occupy_ledger_slots(self, world):
+        node, actors, keys = self.build_node(world)
+        node.submit(signed_payment(actors, keys, sequence=1, amount=5000))  # dry
+        ledger = node.close_ledger()
+        assert ledger.success_count == 0
+        assert len(ledger.page) == 1  # recorded despite failing
+        assert node.state.burned_fee_drops > 0
+
+    def test_transaction_history_accumulates(self, world):
+        node, actors, keys = self.build_node(world)
+        node.submit(signed_payment(actors, keys, sequence=1))
+        node.close_ledger()
+        node.submit(signed_payment(actors, keys, sequence=2))
+        node.close_ledger()
+        assert len(node.transaction_history()) == 2
+
+    def test_apply_outcome_lookup(self, world):
+        node, actors, keys = self.build_node(world)
+        tx = signed_payment(actors, keys)
+        node.submit(tx)
+        node.close_ledger()
+        outcome = node.apply_outcome_of(tx.tx_hash)
+        assert outcome is not None and outcome.succeeded
+        assert node.apply_outcome_of(b"\x00" * 32) is None
+
+    def test_default_validators_healthy(self):
+        validators = default_validators(7)
+        assert len(validators) == 7
+        assert all(v.unl == validators[0].unl for v in validators)
+
+    def test_empty_pool_closes_empty_ledger(self, world):
+        node, _, _ = self.build_node(world)
+        ledger = node.close_ledger()
+        assert ledger is not None
+        assert len(ledger.page) == 0
