@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-node profile-fig3
+
+test:
+	$(PYTHON) -m pytest tests -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Reduced generation -> fig3 pipeline; writes BENCH_pipeline.json (<60 s).
+bench-smoke:
+	$(PYTHON) -m repro bench-smoke
+
+# Engine + path-finder throughput; writes BENCH_node.json.
+bench-node:
+	$(PYTHON) -m repro bench-node
+
+profile-fig3:
+	$(PYTHON) -m repro --profile fig3

@@ -2,16 +2,22 @@
 
 All figure/table benches read one synthetic history (as the paper's
 analyses all read one ledger download).  The history is generated once per
-session; rendered figure text is written to ``benchmarks/results/`` so the
-rows/series the paper reports can be inspected after a run.
+session and additionally pickled to ``benchmarks/.cache/`` so consecutive
+benchmark sessions skip regeneration entirely (set ``REPRO_BENCH_CACHE=0``
+to force a fresh run).  Rendered figure text is written to
+``benchmarks/results/`` so the rows/series the paper reports can be
+inspected after a run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 
 import pytest
 
+from repro import __version__
 from repro.analysis.dataset import TransactionDataset
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.generator import generate_history
@@ -29,11 +35,39 @@ BENCH_CONFIG = EconomyConfig(
 )
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+
+def _cached_history(config: EconomyConfig):
+    """Load the history from the disk cache, generating on a miss.
+
+    The key mixes the package version into the config repr: a release that
+    changes generation semantics must not serve stale economies.  The cache
+    is best-effort — any unpicklable/corrupt entry falls back to a fresh
+    generation.
+    """
+    if os.environ.get("REPRO_BENCH_CACHE", "1") in ("", "0"):
+        return generate_history(config)
+    key = hashlib.sha256(f"{__version__}|{config!r}".encode()).hexdigest()[:16]
+    path = os.path.join(CACHE_DIR, f"history-{key}.pkl")
+    if os.path.exists(path):
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            os.remove(path)
+    history = generate_history(config)
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(history, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp_path, path)
+    return history
 
 
 @pytest.fixture(scope="session")
 def bench_history():
-    return generate_history(BENCH_CONFIG)
+    return _cached_history(BENCH_CONFIG)
 
 
 @pytest.fixture(scope="session")

@@ -16,6 +16,7 @@ process) or, where it makes sense, on a previously dumped archive.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -40,6 +41,7 @@ from repro.analysis.report import (
 )
 from repro.core.deanonymizer import Deanonymizer
 from repro.core.robustness import run_period
+from repro.perf import PERF
 from repro.stream.periods import PERIODS, period
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.generator import generate_history
@@ -155,6 +157,28 @@ def cmd_defenses(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_node(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import run_node
+
+    payload = run_node(Path(args.out))
+    print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_bench_smoke(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import run_pipeline
+
+    payload = run_pipeline(Path(args.out))
+    print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_rewards(args: argparse.Namespace) -> int:
     from repro.consensus.rewards import compare_policies
 
@@ -202,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the ICDCS'17 Ripple study's tables and figures.",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect perf counters/timers and print a report on exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -263,13 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--seed", type=int, default=20170652)
     sub.set_defaults(func=cmd_rewards)
 
+    sub = subparsers.add_parser(
+        "bench-node", help="measure engine/path-finder throughput"
+    )
+    sub.add_argument("--out", type=str, default="BENCH_node.json")
+    sub.set_defaults(func=cmd_bench_node)
+
+    sub = subparsers.add_parser(
+        "bench-smoke", help="measure the reduced generation->fig3 pipeline"
+    )
+    sub.add_argument("--out", type=str, default="BENCH_pipeline.json")
+    sub.set_defaults(func=cmd_bench_smoke)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.profile:
+        PERF.enable()
+    try:
+        return args.func(args)
+    finally:
+        # Report whether profiling came from --profile or REPRO_PROFILE=1.
+        if PERF.enabled:
+            print(PERF.report(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,9 +17,9 @@ import numpy as np
 
 from repro.analysis.dataset import TransactionDataset
 from repro.core.fingerprint import (
+    FeatureColumnCache,
     FingerprintMatrix,
     build_fingerprints,
-    max_exponent_per_currency,
     unique_fingerprint_mask,
     unique_sender_mask,
 )
@@ -28,11 +28,10 @@ from repro.core.resolution import (
     AmountResolution,
     FeatureList,
     TimeResolution,
-    coarsen_timestamps,
-    round_amounts_vector,
 )
 from repro.errors import AnalysisError
 from repro.ledger.accounts import AccountID
+from repro.perf import PERF
 
 
 @dataclass(frozen=True)
@@ -63,11 +62,14 @@ class Deanonymizer:
             raise AnalysisError("empty dataset")
         self.dataset = dataset
         self._cache: Dict[FeatureList, FingerprintMatrix] = {}
+        self._columns = FeatureColumnCache(dataset)
 
     def _fingerprints(self, feature_list: FeatureList) -> FingerprintMatrix:
         found = self._cache.get(feature_list)
         if found is None:
-            found = build_fingerprints(self.dataset, feature_list)
+            found = build_fingerprints(
+                self.dataset, feature_list, cache=self._columns
+            )
             self._cache[feature_list] = found
         return found
 
@@ -82,16 +84,17 @@ class Deanonymizer:
         still identifies the sender when all of them come from one account
         (spam campaigns make this mode substantially more powerful).
         """
-        fingerprints = self._fingerprints(feature_list)
-        if strict:
-            mask = unique_fingerprint_mask(fingerprints)
-        else:
-            mask = unique_sender_mask(fingerprints, self.dataset.sender_ids)
-        return InformationGain(
-            feature_list=feature_list,
-            identified=int(mask.sum()),
-            total=len(self.dataset),
-        )
+        with PERF.timer("deanon.information_gain"):
+            fingerprints = self._fingerprints(feature_list)
+            if strict:
+                mask = unique_fingerprint_mask(fingerprints)
+            else:
+                mask = unique_sender_mask(fingerprints, self.dataset.sender_ids)
+            return InformationGain(
+                feature_list=feature_list,
+                identified=int(mask.sum()),
+                total=len(self.dataset),
+            )
 
     def figure3(
         self, feature_lists: Sequence[FeatureList] = FIGURE3_FEATURE_LISTS
@@ -116,11 +119,16 @@ class Deanonymizer:
         """
         dataset = self.dataset
         mask = np.ones(len(dataset), dtype=bool)
+        # Both the currency feature and the amount bucketing need the
+        # currency's row set; compute it once.
+        currency_rows: Optional[np.ndarray] = None
+        if currency is not None:
+            currency_rows = dataset.rows_for_currency(currency)
 
         if feature_list.use_currency:
-            if currency is None:
+            if currency_rows is None:
                 raise AnalysisError("feature list requires a currency observation")
-            mask &= dataset.rows_for_currency(currency)
+            mask &= currency_rows
 
         if feature_list.use_destination:
             if destination is None:
@@ -135,21 +143,15 @@ class Deanonymizer:
                 raise AnalysisError("feature list requires a timestamp observation")
             bucket = feature_list.time.bucket_seconds()
             observed_bucket = (int(timestamp) // bucket) * bucket
-            mask &= coarsen_timestamps(dataset.timestamps, feature_list.time) == (
-                observed_bucket
-            )
+            mask &= self._columns.time_column(feature_list.time) == observed_bucket
 
         if feature_list.amount is not AmountResolution.NONE:
-            if amount is None or currency is None:
+            if amount is None or currency_rows is None:
                 raise AnalysisError(
                     "feature list requires amount and currency observations"
                 )
-            exponents = max_exponent_per_currency(dataset)
-            per_row = exponents[dataset.currency_ids]
-            buckets = round_amounts_vector(
-                dataset.amounts, per_row, feature_list.amount
-            )
-            currency_rows = dataset.rows_for_currency(currency)
+            per_row = self._columns.per_row_exponents()
+            buckets = self._columns.amount_column(feature_list.amount, True)
             if not currency_rows.any():
                 return np.empty(0, dtype=np.int64)
             row_exponent = int(per_row[np.argmax(currency_rows)])

@@ -49,6 +49,26 @@ class AccountRoot:
 TrustKey = Tuple[AccountID, AccountID, str]
 OfferKey = Tuple[AccountID, int]
 BookKey = Tuple[str, str]
+TrustVersionKey = Tuple[AccountID, str]
+
+
+@dataclass
+class CurrencyLineIndex:
+    """Per-currency adjacency: the trust lines incident to each account.
+
+    ``ins[x]`` are the lines where others trust ``x`` (candidate new-debt
+    payment edges out of ``x``); ``outs[x]`` are the lines where ``x``
+    extends credit (candidate settle edges out of ``x``).  Both preserve
+    line-creation order, which keeps the path finder's edge-expansion order
+    — and therefore every routed payment — identical to a full scan.
+    """
+
+    ins: Dict[AccountID, List[TrustLine]] = field(default_factory=dict)
+    outs: Dict[AccountID, List[TrustLine]] = field(default_factory=dict)
+
+    def add(self, line: TrustLine) -> None:
+        self.ins.setdefault(line.trustee, []).append(line)
+        self.outs.setdefault(line.truster, []).append(line)
 
 
 @dataclass
@@ -66,8 +86,27 @@ class LedgerState:
     _lines_by_trustee: Dict[AccountID, List[TrustLine]] = field(
         default_factory=dict, repr=False
     )
+    #: Lazily built per-currency adjacency indexes, maintained by every
+    #: trust mutation after construction (see :meth:`currency_lines`).
+    _currency_lines: Dict[str, CurrencyLineIndex] = field(
+        default_factory=dict, repr=False
+    )
+    #: Per-(account, currency) mutation counters: bumped whenever a trust
+    #: line incident to the account changes, so graph views can invalidate
+    #: only the successor lists that actually went stale.
+    _trust_versions: Dict[TrustVersionKey, int] = field(
+        default_factory=dict, repr=False
+    )
+    #: Global counters: any trust-fabric mutation / any order-book mutation.
+    trust_generation: int = 0
+    book_generation: int = 0
     burned_fee_drops: int = 0
     enforce_reserve: bool = False
+
+    @property
+    def generation(self) -> int:
+        """Total mutation counter over trust fabric and order books."""
+        return self.trust_generation + self.book_generation
 
     # Accounts ----------------------------------------------------------------
 
@@ -134,19 +173,57 @@ class LedgerState:
 
     # Trust lines ---------------------------------------------------------------
 
+    def _touch_trust(self, a: AccountID, b: AccountID, code: str) -> None:
+        """Record a mutation of the trust fabric between ``a`` and ``b``.
+
+        Bumps the per-endpoint version counters (successor lists of both
+        endpoints may have changed capacity) and the global generation.
+        """
+        self.trust_generation += 1
+        versions = self._trust_versions
+        key = (a, code)
+        versions[key] = versions.get(key, 0) + 1
+        key = (b, code)
+        versions[key] = versions.get(key, 0) + 1
+
+    def trust_version(self, account: AccountID, code: str) -> int:
+        """Mutation counter for trust lines incident to ``account``."""
+        return self._trust_versions.get((account, code), 0)
+
+    def currency_lines(self, code: str) -> CurrencyLineIndex:
+        """The per-currency adjacency index (built lazily, then live).
+
+        The first query for a currency scans ``trustlines`` once; from then
+        on :meth:`set_trust` keeps the index current, so graph views never
+        filter the all-currencies line lists again.
+        """
+        index = self._currency_lines.get(code)
+        if index is None:
+            index = CurrencyLineIndex()
+            for line in self.trustlines.values():
+                if line.currency.code == code:
+                    index.add(line)
+            self._currency_lines[code] = index
+        return index
+
     def set_trust(self, truster: AccountID, trustee: AccountID, limit: Amount) -> TrustLine:
         """Create or update the trust line ``truster -> trustee``."""
         self.account(truster)
         self.account(trustee)
-        key: TrustKey = (truster, trustee, limit.currency.code)
+        code = limit.currency.code
+        key: TrustKey = (truster, trustee, code)
         line = self.trustlines.get(key)
         if line is None:
             line = TrustLine(truster=truster, trustee=trustee, currency=limit.currency, limit=limit)
             self.trustlines[key] = line
             self._lines_by_truster.setdefault(truster, []).append(line)
             self._lines_by_trustee.setdefault(trustee, []).append(line)
+            index = self._currency_lines.get(code)
+            if index is not None:
+                index.add(line)
         else:
             line.set_limit(limit)
+        self._touch_trust(truster, trustee, code)
         return line
 
     def trust_line(
@@ -182,12 +259,14 @@ class LedgerState:
         plus the payer's existing credit towards the payee (debt settling).
         """
         capacity = 0.0
-        forward = self.trust_line(payee, payer, currency)
+        code = currency.code
+        trustlines = self.trustlines
+        forward = trustlines.get((payee, payer, code))
         if forward is not None:
-            capacity += forward.available_credit().to_float()
-        backward = self.trust_line(payer, payee, currency)
+            capacity += forward._available_float
+        backward = trustlines.get((payer, payee, code))
         if backward is not None:
-            capacity += backward.balance.to_float()
+            capacity += backward._balance_float
         return capacity
 
     def apply_hop(self, payer: AccountID, payee: AccountID, amount: Amount) -> None:
@@ -198,10 +277,12 @@ class LedgerState:
         :class:`TrustLineError` if the combined capacity is insufficient.
         """
         remaining = amount
+        code = amount.currency.code
         backward = self.trust_line(payer, payee, amount.currency)
         if backward is not None and backward.balance.is_positive:
             settled = remaining.min(backward.balance)
             backward.settle_debt(settled)
+            self._touch_trust(payer, payee, code)
             remaining = remaining - settled
         if remaining.is_zero:
             return
@@ -211,6 +292,7 @@ class LedgerState:
                 f"no trust from {payee.short()} to {payer.short()} in {amount.currency}"
             )
         forward.extend_debt(remaining)
+        self._touch_trust(payer, payee, code)
 
     # Offers ----------------------------------------------------------------------
 
@@ -222,6 +304,7 @@ class LedgerState:
             raise LedgerError(f"duplicate offer {key}")
         self.offers[key] = offer
         self._books.setdefault(offer.book_key, []).append(offer)
+        self.book_generation += 1
 
     def cancel_offer(self, owner: AccountID, sequence: int) -> bool:
         """Remove an offer; returns False if it was not found."""
@@ -231,7 +314,17 @@ class LedgerState:
         book = self._books.get(offer.book_key)
         if book is not None and offer in book:
             book.remove(offer)
+        self.book_generation += 1
         return True
+
+    def note_offer_fill(self) -> None:
+        """Signal that an offer was (partially) consumed or restored.
+
+        Fills mutate :class:`Offer` objects directly (the executor owns the
+        journal), so this hook is how book-generation invalidation learns
+        about consumption.
+        """
+        self.book_generation += 1
 
     def book_offers(self, pays: Currency, gets: Currency) -> List[Offer]:
         """Live offers on the (pays, gets) book, best quality first."""

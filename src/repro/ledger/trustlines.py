@@ -54,6 +54,24 @@ class TrustLine:
             self.balance = Amount.zero(self.currency)
         if self.balance.currency != self.currency:
             raise InvalidAmountError("trust balance currency mismatch")
+        self._refresh_float_cache()
+
+    def _refresh_float_cache(self) -> None:
+        # Path finding reads capacities as floats millions of times per
+        # history but a line only mutates on a hop or a TrustSet, so the
+        # float views are maintained here instead of recomputed per query.
+        self._balance_float = self.balance.to_float()
+        self._available_float = self.available_credit().to_float()
+
+    @property
+    def balance_float(self) -> float:
+        """``balance.to_float()``, cached across mutations."""
+        return self._balance_float
+
+    @property
+    def available_credit_float(self) -> float:
+        """``available_credit().to_float()``, cached across mutations."""
+        return self._available_float
 
     @property
     def key(self) -> Tuple[AccountID, AccountID, str]:
@@ -78,6 +96,7 @@ class TrustLine:
                 f"{self.currency} lacks capacity for {amount}"
             )
         self.balance = self.balance + amount
+        self._refresh_float_cache()
 
     def settle_debt(self, amount: Amount) -> None:
         """Cancel ``amount`` of existing debt (truster pays trustee back)."""
@@ -88,6 +107,7 @@ class TrustLine:
                 f"cannot settle {amount}: only {self.balance} owed"
             )
         self.balance = self.balance - amount
+        self._refresh_float_cache()
 
     def set_limit(self, limit: Amount) -> None:
         """Change the declared trust limit (a ``TrustSet`` transaction)."""
@@ -96,6 +116,7 @@ class TrustLine:
         if limit.is_negative:
             raise TrustLineError("trust limit cannot be negative")
         self.limit = limit
+        self._refresh_float_cache()
 
     def is_dead(self) -> bool:
         """True when the line carries no limit and no balance (removable)."""

@@ -20,7 +20,7 @@ the spam transactions that pinned their routes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import (
     InsufficientBalanceError,
@@ -36,6 +36,7 @@ from repro.ledger.currency import XRP, Currency
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import BASE_FEE_DROPS
 from repro.payments.bridging import BridgePlan, plan_bridge, plan_same_currency_detour
+from repro.perf import PERF
 from repro.payments.execution import ExecutionOutcome, Executor
 from repro.payments.graph import Edge, TrustGraph
 from repro.payments.pathfinding import (
@@ -53,6 +54,10 @@ class FilteredTrustGraph(TrustGraph):
     Banned accounts may still be payment endpoints; they just cannot relay.
     This is the Table II counterfactual: strip Market Makers out of the
     routing fabric while leaving their own accounts intact.
+
+    When a ``base`` graph is supplied, successor lists are read through it,
+    so consecutive filtered views (one per replayed payment) share one
+    memoized edge cache instead of each rebuilding it.
     """
 
     def __init__(
@@ -62,16 +67,18 @@ class FilteredTrustGraph(TrustGraph):
         banned: Set[AccountID],
         source: AccountID,
         target: AccountID,
+        base: Optional[TrustGraph] = None,
     ):
         super().__init__(state, currency)
         self._banned = banned
         self._source = source
         self._target = target
+        self._base = base if base is not None else TrustGraph(state, currency)
 
     def successors(self, payer: AccountID):
         if payer in self._banned and payer not in (self._source, self._target):
             return
-        for edge in super().successors(payer):
+        for edge in self._base.successors(payer):
             if edge.payee in self._banned and edge.payee != self._target:
                 continue
             yield edge
@@ -123,6 +130,10 @@ class PaymentEngine:
         self.enforce_fees = enforce_fees
         self.max_intermediate_hops = max_intermediate_hops
         self.max_parallel_paths = max_parallel_paths
+        #: Memoized per-currency graph views; safe to reuse across payments
+        #: because TrustGraph revalidates against the ledger's trust
+        #: versions on every successors() query.
+        self._graph_cache: Dict[str, TrustGraph] = {}
 
     # Public API -----------------------------------------------------------------
 
@@ -142,6 +153,41 @@ class PaymentEngine:
         unchanged except for the burned fee (as in Ripple, where failed
         transactions still cost their fee once they claim a ledger slot).
         """
+        if PERF.enabled:
+            with PERF.timer("engine.submit"):
+                result = self._submit(
+                    sender,
+                    receiver,
+                    amount,
+                    send_max,
+                    forced_paths,
+                    banned_intermediaries,
+                    allow_offers,
+                )
+            PERF.count("engine.payments")
+            if not result.success:
+                PERF.count("engine.failures")
+            return result
+        return self._submit(
+            sender,
+            receiver,
+            amount,
+            send_max,
+            forced_paths,
+            banned_intermediaries,
+            allow_offers,
+        )
+
+    def _submit(
+        self,
+        sender: AccountID,
+        receiver: AccountID,
+        amount: Amount,
+        send_max: Optional[Amount],
+        forced_paths: Optional[Sequence[Tuple[List[AccountID], float]]],
+        banned_intermediaries: Optional[Set[AccountID]],
+        allow_offers: bool,
+    ) -> PaymentResult:
         result = PaymentResult(
             success=False, sender=sender, receiver=receiver, amount=amount
         )
@@ -218,9 +264,15 @@ class PaymentEngine:
         source: AccountID,
         target: AccountID,
     ) -> TrustGraph:
+        base = self._graph_cache.get(currency.code)
+        if base is None:
+            base = TrustGraph(self.state, currency)
+            self._graph_cache[currency.code] = base
         if banned:
-            return FilteredTrustGraph(self.state, currency, banned, source, target)
-        return TrustGraph(self.state, currency)
+            return FilteredTrustGraph(
+                self.state, currency, banned, source, target, base=base
+            )
+        return base
 
     def _execute_same_currency(
         self,

@@ -7,10 +7,21 @@ debt X can take on towards Y... precisely: debt X takes on *towards Y* is
 recorded on the line where Y is the truster) with any debt Y already owes X
 (which a payment can settle).  This is the structure payments of Fig. 1
 traverse, and what the market-maker-removal study of Table II perturbs.
+
+Performance: successor lists are served from the ledger's incremental
+per-currency adjacency index (:meth:`LedgerState.currency_lines`) and
+memoized per node against the ledger's per-(account, currency) trust
+versions.  A BFS that expands the same hub hundreds of times per payment —
+and a payment plan that runs several BFS passes — recomputes each node's
+edges at most once per mutation of its incident lines.  Set
+``REPRO_DISABLE_GRAPH_INDEX=1`` (or ``USE_INDEX = False``) to fall back to
+the reference full-scan implementation; both produce identical edges in
+identical order, which the equivalence suite enforces.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Set, Tuple
 
@@ -20,6 +31,10 @@ from repro.ledger.state import LedgerState
 
 #: Capacities below this many currency units are treated as dry.
 DUST = 1e-9
+
+#: Serve successors from the incremental index (the reference scan remains
+#: available for equivalence testing and as documentation of the semantics).
+USE_INDEX = os.environ.get("REPRO_DISABLE_GRAPH_INDEX", "") in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -34,33 +49,73 @@ class Edge:
 class TrustGraph:
     """Read-only payment-graph adapter for one currency.
 
-    The graph is *live*: capacities are recomputed from the underlying
-    :class:`~repro.ledger.state.LedgerState` on each query, so interleaved
+    The graph is *live*: capacities reflect the underlying
+    :class:`~repro.ledger.state.LedgerState` at query time, so interleaved
     payments see each other's balance changes — essential for the Table II
-    replay, where earlier payments drain liquidity for later ones.
+    replay, where earlier payments drain liquidity for later ones.  The
+    per-node successor cache is transparent: entries are revalidated against
+    the ledger's trust versions on every query.
     """
 
     def __init__(self, state: LedgerState, currency: Currency):
         self.state = state
         self.currency = currency
+        #: node -> (trust version at computation, materialized edges)
+        self._succ_cache: Dict[AccountID, Tuple[int, List[Edge]]] = {}
 
     def successors(self, payer: AccountID) -> Iterator[Edge]:
         """All accounts ``payer`` can push value to, with capacities."""
+        if not USE_INDEX:
+            return self._successors_scan(payer)
+        version = self.state.trust_version(payer, self.currency.code)
+        cached = self._succ_cache.get(payer)
+        if cached is not None and cached[0] == version:
+            return iter(cached[1])
+        edges = self._indexed_successors(payer)
+        self._succ_cache[payer] = (version, edges)
+        return iter(edges)
+
+    def _indexed_successors(self, payer: AccountID) -> List[Edge]:
+        """Materialize ``payer``'s edges from the per-currency line index."""
+        code = self.currency.code
+        index = self.state.currency_lines(code)
+        trustlines = self.state.trustlines
+        edges: List[Edge] = []
         seen: Set[AccountID] = set()
+        # The underscored float caches are read directly: property calls
+        # cost a Python frame each, and this loop runs per BFS expansion.
         # New debt: lines where someone trusts `payer`.
+        for line in index.ins.get(payer, ()):
+            capacity = line._available_float
+            reverse = trustlines.get((payer, line.truster, code))
+            if reverse is not None:
+                capacity += reverse._balance_float
+            if capacity > DUST:
+                seen.add(line.truster)
+                edges.append(Edge(payer, line.truster, capacity))
+        # Pure settle edges: `payer` holds IOUs of a trustee who doesn't
+        # trust `payer` back.
+        for line in index.outs.get(payer, ()):
+            if line.trustee in seen:
+                continue
+            capacity = line._balance_float
+            if capacity > DUST:
+                edges.append(Edge(payer, line.trustee, capacity))
+        return edges
+
+    def _successors_scan(self, payer: AccountID) -> Iterator[Edge]:
+        """Reference implementation: full scan of the payer's line lists."""
+        seen: Set[AccountID] = set()
         for line in self.state.lines_trusting(payer):
             if line.currency != self.currency:
                 continue
             capacity = line.available_credit().to_float()
-            # Add settleable debt on the reverse line, if any.
             reverse = self.state.trust_line(payer, line.truster, self.currency)
             if reverse is not None:
                 capacity += reverse.balance.to_float()
             if capacity > DUST:
                 seen.add(line.truster)
                 yield Edge(payer, line.truster, capacity)
-        # Pure settle edges: `payer` holds IOUs of a trustee who doesn't
-        # trust `payer` back.
         for line in self.state.lines_trusted_by(payer):
             if line.currency != self.currency or line.trustee in seen:
                 continue

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.ledger.accounts import AccountID
-from repro.payments.graph import DUST, TrustGraph, path_bottleneck
+from repro.payments.graph import DUST, TrustGraph
+from repro.perf import PERF
 
 #: Ripple rejects pathologically long paths; the ledger data in Fig. 6 shows
 #: organic paths up to ~11 intermediate hops, spam up to 44.
@@ -70,21 +71,26 @@ def shortest_path(
     parents: Dict[AccountID, AccountID] = {source: source}
     depth = {source: 0}
     queue = deque([source])
+    # Hot loop: bind methods once; every payment runs several BFS passes.
+    successors = graph.successors
+    can_relay = graph.can_relay
+    residual_get = residual.get
     while queue:
         node = queue.popleft()
-        if depth[node] + 1 >= max_nodes and node != target:
+        node_depth = depth[node]
+        if node_depth + 1 >= max_nodes and node != target:
             continue
-        if node != source and not graph.can_relay(node):
+        if node != source and not can_relay(node):
             continue
-        for edge in graph.successors(node):
+        next_depth = node_depth + 1
+        for edge in successors(node):
             nxt = edge.payee
             if nxt in parents:
                 continue
-            remaining = edge.capacity - residual.get((node, nxt), 0.0)
-            if remaining <= DUST:
+            if edge.capacity - residual_get((node, nxt), 0.0) <= DUST:
                 continue
             parents[nxt] = node
-            depth[nxt] = depth[node] + 1
+            depth[nxt] = next_depth
             if nxt == target:
                 path = [target]
                 while path[-1] != source:
@@ -114,18 +120,20 @@ def plan_payment(
     residual: Dict = {}
     remaining = amount
     while remaining > DUST and plan.parallel_paths < max_parallel_paths:
+        if PERF.enabled:
+            PERF.count("pathfinding.bfs_runs")
         path = shortest_path(
             graph, source, target, max_intermediate_hops, residual
         )
         if path is None:
             break
-        capacity = path_bottleneck(graph, path)
-        for i in range(len(path) - 1):
-            capacity_here = (
-                graph.capacity(path[i], path[i + 1])
-                - residual.get((path[i], path[i + 1]), 0.0)
-            )
-            capacity = min(capacity, capacity_here)
+        # One capacity query per hop: the residual-adjusted bottleneck is
+        # always <= the raw bottleneck, so the raw pass is redundant.
+        capacity = min(
+            graph.capacity(path[i], path[i + 1])
+            - residual.get((path[i], path[i + 1]), 0.0)
+            for i in range(len(path) - 1)
+        )
         if capacity <= DUST:
             break
         push = min(capacity, remaining)
@@ -135,6 +143,9 @@ def plan_payment(
         plan.paths.append(path)
         plan.amounts.append(push)
         remaining -= push
+    if PERF.enabled:
+        PERF.count("pathfinding.plans")
+        PERF.count("pathfinding.paths_found", plan.parallel_paths)
     return plan
 
 

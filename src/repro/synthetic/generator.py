@@ -33,6 +33,7 @@ from repro.ledger.currency import Currency, eur_value
 from repro.ledger.offers import Offer
 from repro.ledger.state import LedgerState
 from repro.payments.engine import PaymentEngine, PaymentResult
+from repro.perf import PERF
 from repro.synthetic.actors import Cast, build_cast
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.distributions import sample_amounts
@@ -164,21 +165,25 @@ class LedgerHistoryGenerator:
 
     def generate(self) -> SyntheticHistory:
         """Run the whole history and return it."""
-        slots = build_schedule(self.config, self.rng)
-        offer_times = offer_schedule(self.config, self.rng)
-        offer_cursor = 0
-        for index, slot in enumerate(slots):
-            while (
-                offer_cursor < len(offer_times)
-                and offer_times[offer_cursor] <= slot.timestamp
-            ):
+        with PERF.timer("generator.generate"):
+            slots = build_schedule(self.config, self.rng)
+            offer_times = offer_schedule(self.config, self.rng)
+            offer_cursor = 0
+            for index, slot in enumerate(slots):
+                while (
+                    offer_cursor < len(offer_times)
+                    and offer_times[offer_cursor] <= slot.timestamp
+                ):
+                    self._place_offer(int(offer_times[offer_cursor]))
+                    offer_cursor += 1
+                self._maybe_snapshot(slot.timestamp)
+                self._execute_slot(index, slot)
+            while offer_cursor < len(offer_times):
                 self._place_offer(int(offer_times[offer_cursor]))
                 offer_cursor += 1
-            self._maybe_snapshot(slot.timestamp)
-            self._execute_slot(index, slot)
-        while offer_cursor < len(offer_times):
-            self._place_offer(int(offer_times[offer_cursor]))
-            offer_cursor += 1
+            if PERF.enabled:
+                PERF.count("generator.slots", len(slots))
+                PERF.count("generator.offers_scheduled", len(offer_times))
         return self.history
 
     # Actor helpers -----------------------------------------------------------------

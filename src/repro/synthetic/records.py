@@ -34,8 +34,33 @@ ALL_KINDS = (
 )
 
 
+class _SlottedFrozenPickle:
+    """Pickle support for frozen dataclasses that declare ``__slots__``.
+
+    Slotted instances have no ``__dict__``, so pickle's default
+    ``__setstate__`` assigns slot values with ``setattr`` — which a frozen
+    dataclass forbids.  Restore through ``object.__setattr__`` instead,
+    the same escape hatch dataclasses' own ``__init__`` uses.
+    """
+
+    __slots__ = ()
+
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state):
+        if isinstance(state, tuple) and len(state) == 2 and isinstance(state[1], dict):
+            # Pickle's default two-part (dict, slots-dict) state, produced
+            # before __getstate__ existed or by protocol-generic copiers.
+            state = tuple(state[1][name] for name in self.__slots__)
+        if len(state) != len(self.__slots__):
+            raise ValueError(f"stale pickle state for {type(self).__name__}")
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
+
 @dataclass(frozen=True)
-class TransactionRecord:
+class TransactionRecord(_SlottedFrozenPickle):
     """One payment as read back from the (synthetic) public ledger."""
 
     __slots__ = (
@@ -79,7 +104,7 @@ class TransactionRecord:
 
 
 @dataclass(frozen=True)
-class OfferRecord:
+class OfferRecord(_SlottedFrozenPickle):
     """One exchange-offer placement (who placed it, and when)."""
 
     __slots__ = ("owner", "timestamp")
@@ -89,7 +114,7 @@ class OfferRecord:
 
 
 @dataclass(frozen=True)
-class ReplayIntent:
+class ReplayIntent(_SlottedFrozenPickle):
     """A post-snapshot payment, re-submittable for the Table II replay."""
 
     __slots__ = (
@@ -117,7 +142,7 @@ class ReplayIntent:
 
 
 @dataclass(frozen=True)
-class TrustEvent:
+class TrustEvent(_SlottedFrozenPickle):
     """A post-snapshot trust-line creation/update, replayed before the
     payments that follow it (the paper 'reflected in the modified trust
     network the updates happening on the real system to trust-lines')."""

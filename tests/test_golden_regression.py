@@ -1,0 +1,105 @@
+"""Bit-for-bit regression pins for the optimized hot paths.
+
+One fixed-seed economy is generated through the full engine and its
+analysis outputs are pinned exactly: the per-record stream digest, all ten
+Fig. 3 information-gain counts, and the Table II delivery fractions.  Any
+optimization that changes routing order, float derivation, fingerprint
+grouping, or the replay must trip one of these pins — speed work on this
+repo is only valid when these stay green.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.analysis.dataset import TransactionDataset
+from repro.analysis.market_makers import table2
+from repro.core.deanonymizer import Deanonymizer
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import LedgerHistoryGenerator
+
+GOLDEN_CONFIG = EconomyConfig(
+    seed=97,
+    n_payments=2400,
+    n_users=160,
+    n_gateways=12,
+    n_market_makers=60,
+    n_offers=9600,
+)
+
+GOLDEN_RECORDS_SHA256 = (
+    "dad61f9464d7fbeeaf611837c8429d2ad22a84e168ab392397bbcd79f01cf569"
+)
+GOLDEN_FAILED_PAYMENTS = 2
+
+#: (identified, total) per Fig. 3 feature list, in the paper's order.
+GOLDEN_FIG3_COUNTS = (
+    (2398, 2398),
+    (2398, 2398),
+    (2398, 2398),
+    (2398, 2398),
+    (2398, 2398),
+    (2390, 2398),
+    (2311, 2398),
+    (873, 2398),
+    (452, 2398),
+    (765, 2398),
+)
+
+#: (delivered, submitted) for Table II's cross, single, and total rows.
+GOLDEN_TABLE2 = (
+    ("Cross-currency", 0, 103),
+    ("Single-currency", 15, 54),
+    ("Total", 15, 157),
+)
+
+
+@pytest.fixture(scope="module")
+def golden_history():
+    return LedgerHistoryGenerator(GOLDEN_CONFIG).generate()
+
+
+def records_digest(records) -> str:
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(
+            repr(
+                (
+                    record.index,
+                    record.timestamp,
+                    record.sender.address,
+                    record.destination.address,
+                    record.currency,
+                    record.amount,
+                    record.is_xrp_direct,
+                    record.cross_currency,
+                    record.intermediate_hops,
+                    record.parallel_paths,
+                    tuple(a.address for a in record.intermediaries),
+                    record.delivered,
+                    record.kind,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+class TestGoldenRegression:
+    def test_record_stream_digest(self, golden_history):
+        assert golden_history.failed_payments == GOLDEN_FAILED_PAYMENTS
+        assert records_digest(golden_history.records) == GOLDEN_RECORDS_SHA256
+
+    def test_figure3_counts(self, golden_history):
+        dataset = TransactionDataset.from_records(golden_history.records)
+        gains = Deanonymizer(dataset).figure3()
+        observed = tuple((ig.identified, ig.total) for ig in gains)
+        assert observed == GOLDEN_FIG3_COUNTS
+
+    def test_table2_delivery_fractions(self, golden_history):
+        rows = table2(golden_history).rows()
+        observed = tuple(
+            (row.category, row.delivered, row.submitted) for row in rows
+        )
+        assert observed == GOLDEN_TABLE2

@@ -1,0 +1,65 @@
+"""The perf registry and the benchmark JSON writer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import SCHEMA, write_result
+from repro.perf import PerfRegistry
+
+
+class TestPerfRegistry:
+    def test_disabled_registry_records_nothing(self):
+        perf = PerfRegistry(enabled=False)
+        perf.count("x")
+        with perf.timer("y"):
+            pass
+        assert perf.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_counters_and_timers_accumulate(self):
+        perf = PerfRegistry(enabled=True)
+        perf.count("payments", 3)
+        perf.count("payments")
+        with perf.timer("work"):
+            pass
+        with perf.timer("work"):
+            pass
+        snap = perf.snapshot()
+        assert snap["counters"] == {"payments": 4}
+        assert snap["timers"]["work"]["calls"] == 2
+        assert snap["timers"]["work"]["seconds"] >= 0.0
+        assert "work" in perf.report() and "payments" in perf.report()
+
+    def test_reset_clears_everything(self):
+        perf = PerfRegistry(enabled=True)
+        perf.count("a")
+        perf.add_time("b", 1.0)
+        perf.reset()
+        assert perf.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestBenchWriter:
+    def test_first_write_sets_baseline_to_current(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = write_result(path, "node", {"n": 1}, {"plan_payment_ops": 100.0})
+        assert payload["schema"] == SCHEMA
+        assert payload["baseline"] == payload["current"]
+        assert payload["speedup"] == {"plan_payment_ops": 1.0}
+
+    def test_rerun_preserves_baseline_and_updates_speedup(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_result(path, "node", {"n": 1}, {"plan_payment_ops": 100.0, "x_s": 8.0})
+        payload = write_result(
+            path, "node", {"n": 1}, {"plan_payment_ops": 250.0, "x_s": 2.0}
+        )
+        assert payload["baseline"] == {"plan_payment_ops": 100.0, "x_s": 8.0}
+        # ops: higher is better; seconds: lower is better — both are
+        assert payload["speedup"] == {"plan_payment_ops": 2.5, "x_s": 4.0}
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+
+    def test_config_change_resets_baseline(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_result(path, "node", {"n": 1}, {"plan_payment_ops": 100.0})
+        payload = write_result(path, "node", {"n": 2}, {"plan_payment_ops": 50.0})
+        assert payload["baseline"] == {"plan_payment_ops": 50.0}
