@@ -28,13 +28,14 @@ Quickstart
 """
 
 from repro.errors import ReproError
-from repro.node import ClosedLedger, RippledNode, default_validators
+from repro.node import ClosedLedger, RetryPolicy, RippledNode, default_validators
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ClosedLedger",
     "ReproError",
+    "RetryPolicy",
     "RippledNode",
     "default_validators",
     "__version__",

@@ -1,0 +1,47 @@
+"""repro.api — the artifact registry and renderers.
+
+One table, :data:`ARTIFACTS`, maps every reproducible artifact name to a
+``(compute, render)`` pair; the CLI dispatches exclusively through it.
+Importing this package registers the paper's figures and tables
+(:mod:`repro.api.artifacts`); extension packages add their own entries by
+calling :func:`register` at import time (see :mod:`repro.chaos.report`).
+"""
+
+from repro.api.registry import (
+    ARTIFACTS,
+    Artifact,
+    ArtifactError,
+    artifact,
+    names,
+    register,
+)
+from repro.api import artifacts as _artifacts  # noqa: F401  (populates ARTIFACTS)
+from repro.api.artifacts import dataset_for, economy_config, history_for
+from repro.api.render import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table2,
+)
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactError",
+    "artifact",
+    "dataset_for",
+    "economy_config",
+    "history_for",
+    "names",
+    "register",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_table2",
+]

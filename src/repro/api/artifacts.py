@@ -1,0 +1,178 @@
+"""Built-in artifacts: the paper's figures and tables, registered.
+
+Each artifact is a ``(compute, render)`` pair over parsed CLI arguments.
+Importing this module populates :data:`repro.api.registry.ARTIFACTS` with
+fig2–fig7 and table2; extension artifacts (e.g. the chaos report in
+:mod:`repro.chaos.report`) register themselves the same way from their own
+packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Tuple
+
+from repro.analysis import (
+    TransactionDataset,
+    currency_ranking,
+    figure5_curves,
+    offer_concentration,
+    path_structure,
+    table2,
+    top_intermediaries,
+)
+from repro.analysis.archive import load_archive
+from repro.api.registry import ArtifactError, register
+from repro.api.render import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_table2,
+)
+from repro.core.deanonymizer import Deanonymizer
+from repro.core.robustness import PeriodReport, run_period
+from repro.stream.periods import PERIODS, period
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import generate_history
+
+#: Sample points of the Fig. 5 survival curves (log-spaced like the paper).
+FIGURE5_POINTS = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10)
+
+
+def economy_config(args: argparse.Namespace) -> EconomyConfig:
+    """The synthetic-economy configuration encoded in the shared CLI flags."""
+    return EconomyConfig(
+        seed=args.seed,
+        n_payments=args.payments,
+        n_users=max(10, args.payments // 33),
+        n_offers=args.payments * 4,
+    )
+
+
+def dataset_for(args: argparse.Namespace):
+    """(history, dataset) for the shared flags; history is None for archives."""
+    if getattr(args, "archive", None):
+        records = load_archive(args.archive)
+        return None, TransactionDataset.from_records(records)
+    history = generate_history(economy_config(args))
+    return history, TransactionDataset.from_records(history.records)
+
+
+def history_for(args: argparse.Namespace):
+    """A full ledger history; rejects archive input (no ledger state)."""
+    history, _ = dataset_for(args)
+    if history is None:
+        raise ArtifactError(
+            "this artifact needs ledger state; run without --archive"
+        )
+    return history
+
+
+# fig2 ----------------------------------------------------------------------
+
+
+def _compute_fig2(args: argparse.Namespace) -> List[PeriodReport]:
+    keys = [args.period] if getattr(args, "period", None) else [
+        spec.key for spec in PERIODS
+    ]
+    return [
+        run_period(period(key), scale=1.0 / args.scale, seed=args.seed)
+        for key in keys
+    ]
+
+
+def _render_fig2(reports: List[PeriodReport], _args: argparse.Namespace) -> str:
+    return "\n\n".join(render_figure2(report) for report in reports)
+
+
+register(
+    "fig2",
+    "validator activity over the three collection periods",
+    _compute_fig2,
+    _render_fig2,
+)
+
+
+# fig3 ----------------------------------------------------------------------
+
+
+register(
+    "fig3",
+    "information gain per feature list",
+    lambda args: Deanonymizer(dataset_for(args)[1]).figure3(),
+    lambda gains, args: render_figure3(gains),
+)
+
+
+# fig4 ----------------------------------------------------------------------
+
+
+register(
+    "fig4",
+    "most used currencies",
+    lambda args: currency_ranking(dataset_for(args)[1]),
+    lambda ranking, args: render_figure4(ranking, top=getattr(args, "top", 25)),
+)
+
+
+# fig5 ----------------------------------------------------------------------
+
+
+register(
+    "fig5",
+    "survival functions of payment amounts",
+    lambda args: figure5_curves(dataset_for(args)[1]),
+    lambda curves, args: render_figure5(curves, FIGURE5_POINTS),
+)
+
+
+# fig6 ----------------------------------------------------------------------
+
+
+register(
+    "fig6",
+    "payment path structure",
+    lambda args: path_structure(dataset_for(args)[1]),
+    lambda structure, args: render_figure6(structure),
+)
+
+
+# fig7 ----------------------------------------------------------------------
+
+
+def _compute_fig7(args: argparse.Namespace) -> Tuple[list, Dict[str, float]]:
+    history = history_for(args)
+    profiles = top_intermediaries(history, getattr(args, "top", 50))
+    concentration = offer_concentration(history.offer_records)
+    return profiles, dict(concentration.shares)
+
+
+def _render_fig7(payload, _args: argparse.Namespace) -> str:
+    profiles, shares = payload
+    rounded = {code: round(value, 3) for code, value in shares.items()}
+    return (
+        render_figure7(profiles)
+        + f"\n\noffer concentration: {rounded}"
+    )
+
+
+register(
+    "fig7",
+    "top-50 intermediaries",
+    _compute_fig7,
+    _render_fig7,
+)
+
+
+# table2 --------------------------------------------------------------------
+
+
+register(
+    "table2",
+    "delivery without market makers",
+    lambda args: table2(history_for(args)),
+    lambda result, args: render_table2(result),
+)

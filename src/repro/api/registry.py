@@ -1,0 +1,70 @@
+"""The artifact registry: one table from artifact name to (compute, render).
+
+Every reproducible artifact — the paper's figures and tables plus
+extensions like the chaos report — registers itself here as a
+:class:`Artifact`: a ``compute`` callable that builds the artifact's
+payload from parsed CLI arguments, and a ``render`` callable that turns
+the payload into the terminal text.  The CLI dispatches exclusively
+through this table, so adding an artifact is one :func:`register` call —
+no new subcommand plumbing.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.errors import AnalysisError
+
+Compute = Callable[[argparse.Namespace], Any]
+Render = Callable[[Any, argparse.Namespace], str]
+
+
+class ArtifactError(AnalysisError):
+    """An artifact cannot be computed with the given arguments."""
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One reproducible artifact: how to compute it and how to show it."""
+
+    name: str
+    description: str
+    compute: Compute
+    render: Render
+
+    def run(self, args: argparse.Namespace) -> str:
+        """Compute the payload and render it for the terminal."""
+        return self.render(self.compute(args), args)
+
+
+#: name -> Artifact, in registration order (figures list order).
+ARTIFACTS: Dict[str, Artifact] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    compute: Compute,
+    render: Render,
+) -> Artifact:
+    """Register an artifact; later registrations replace earlier ones."""
+    artifact = Artifact(
+        name=name, description=description, compute=compute, render=render
+    )
+    ARTIFACTS[name] = artifact
+    return artifact
+
+
+def artifact(name: str) -> Artifact:
+    try:
+        return ARTIFACTS[name]
+    except KeyError:
+        raise ArtifactError(
+            f"unknown artifact {name!r}; known: {', '.join(sorted(ARTIFACTS))}"
+        ) from None
+
+
+def names() -> List[str]:
+    return list(ARTIFACTS)

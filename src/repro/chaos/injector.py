@@ -1,0 +1,128 @@
+"""The chaos injector: feeds a fault plan into the runtime and keeps score.
+
+One injector instance is shared by every component under test — the
+consensus engine pulls per-round :class:`~repro.consensus.faults.RoundFaults`
+from it, the stream server asks it whether the collector's connection is up,
+and the node reports retries and degraded closes back to it.  All fault
+counters therefore land in one :class:`FaultCounters`, which the chaos
+report renders and which is mirrored into :data:`repro.perf.PERF` so
+``--profile`` runs expose degradation alongside the hot-path timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Sequence
+
+from repro.consensus.faults import RoundFaults
+from repro.chaos.plan import FaultPlan
+from repro.perf import PERF
+
+
+@dataclass
+class FaultCounters:
+    """Observable effects of one fault-injected run."""
+
+    faulted_rounds: int = 0
+    partition_rounds: int = 0
+    messages_suppressed: int = 0
+    messages_stale: int = 0
+    crash_rounds: int = 0
+    byzantine_rounds: int = 0
+    rounds_not_validated: int = 0
+    round_retries: int = 0
+    degraded_rounds: int = 0
+    failed_closes: int = 0
+    stream_disconnects: int = 0
+    stream_buffered: int = 0
+    stream_replayed: int = 0
+    duplicates_dropped: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ChaosInjector:
+    """Binds a :class:`FaultPlan` to a running system.
+
+    Implements the engine's ``ChaosHook`` duck type
+    (:meth:`faults_for_round` / :meth:`note_round`) plus the stream- and
+    node-side callbacks.  ``None`` results mean "no faults this round" and
+    guarantee the pristine code path.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self.counters = FaultCounters()
+        self._stream_was_down = False
+
+    # Engine-side hook ---------------------------------------------------------
+
+    def faults_for_round(
+        self, absolute_round: int, validators: Sequence[object]
+    ) -> Optional[RoundFaults]:
+        return self.plan.round_faults(absolute_round)
+
+    def note_round(self, faults: RoundFaults, outcome) -> None:
+        """Account one fault-injected round's observable effects."""
+        counters = self.counters
+        counters.faulted_rounds += 1
+        participants = set(outcome.participants)
+        if faults.partitions:
+            counters.partition_rounds += 1
+        if faults.blocked:
+            silenced = len(faults.blocked & participants)
+            counters.messages_suppressed += silenced * max(0, len(participants) - 1)
+        if faults.stale:
+            counters.messages_stale += len(faults.stale & participants)
+        if faults.crashed:
+            counters.crash_rounds += len(faults.crashed)
+        if faults.behaviour_overrides:
+            counters.byzantine_rounds += len(
+                set(faults.behaviour_overrides) & participants
+            )
+        if not outcome.validated:
+            counters.rounds_not_validated += 1
+        self._mirror("chaos.faulted_rounds")
+
+    # Stream-side hook ---------------------------------------------------------
+
+    def stream_disconnected(self, stream_time: int) -> bool:
+        """Stream-server callback; also counts disconnect transitions."""
+        down = self.plan.stream_disconnected(stream_time)
+        if down and not self._stream_was_down:
+            self.counters.stream_disconnects += 1
+            self._mirror("chaos.stream_disconnects")
+        self._stream_was_down = down
+        return down
+
+    def note_stream_buffered(self, count: int = 1) -> None:
+        self.counters.stream_buffered += count
+
+    def note_stream_replayed(self, count: int) -> None:
+        self.counters.stream_replayed += count
+        self._mirror("chaos.stream_replayed", count)
+
+    def note_duplicate_dropped(self, count: int = 1) -> None:
+        self.counters.duplicates_dropped += count
+        self._mirror("chaos.duplicates_dropped", count)
+
+    # Node-side hook -----------------------------------------------------------
+
+    def note_retry(self, count: int = 1) -> None:
+        self.counters.round_retries += count
+        self._mirror("node.round_retries", count)
+
+    def note_degraded_close(self) -> None:
+        self.counters.degraded_rounds += 1
+        self._mirror("node.degraded_rounds")
+
+    def note_failed_close(self) -> None:
+        self.counters.failed_closes += 1
+        self._mirror("node.failed_closes")
+
+    # Internals ----------------------------------------------------------------
+
+    def _mirror(self, name: str, delta: int = 1) -> None:
+        PERF.count(name, delta)

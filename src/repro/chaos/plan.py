@@ -1,0 +1,356 @@
+"""Seeded fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a declarative schedule over consensus rounds (and,
+for stream faults, over stream time).  Plans are pure data — deterministic
+given their fields — so a drill run is reproducible from ``(plan, seed)``
+alone.  The :data:`PLANS` registry holds named builders replaying the
+fault scenarios of the cited consensus analyses; :func:`random_plan`
+generates arbitrary (but seed-stable) plans for property testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.consensus.engine import CLOSE_INTERVAL_SECONDS
+from repro.consensus.faults import Behaviour, RoundFaults
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open round window ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+
+    def covers(self, round_index: int) -> bool:
+        return self.start <= round_index < self.end
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Message-level faults on the proposal exchange during a window.
+
+    ``extra_loss`` — additional drop probability on every link;
+    ``blocked``    — validators whose proposals are suppressed entirely
+                     (a delayed message in a synchronous round model);
+    ``stale``      — validators whose proposals arrive one deliberation
+                     iteration late (delay/reorder schedules).
+    """
+
+    window: Window
+    extra_loss: float = 0.0
+    blocked: Tuple[str, ...] = ()
+    stale: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """The network splits into ``groups`` for the window."""
+
+    window: Window
+    groups: Tuple[FrozenSet[str], ...]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """``name`` crashes at ``window.start`` and restarts at ``window.end``."""
+
+    name: str
+    window: Window
+
+
+@dataclass(frozen=True)
+class ByzantineFault:
+    """``name`` proposes conflicting transaction sets during the window."""
+
+    name: str
+    window: Window
+
+
+@dataclass(frozen=True)
+class StreamFault:
+    """The validation-stream connection is down for a *time* window.
+
+    Expressed in stream time (seconds) because the collector operates on
+    receive timestamps, not on round indices.
+    """
+
+    window: Window
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full, seeded fault schedule for one drill run."""
+
+    name: str
+    description: str = ""
+    messages: Tuple[MessageFault, ...] = ()
+    partitions: Tuple[PartitionFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+    byzantine: Tuple[ByzantineFault, ...] = ()
+    stream: Tuple[StreamFault, ...] = ()
+
+    def round_faults(self, round_index: int) -> Optional[RoundFaults]:
+        """Merge every schedule active at ``round_index``.
+
+        Returns ``None`` when nothing is active, so fault-free rounds take
+        the exact pre-chaos code path.
+        """
+        extra_loss = 0.0
+        blocked: set = set()
+        stale: set = set()
+        overrides: Dict[str, Behaviour] = {}
+        crashed: set = set()
+        groups: Tuple[FrozenSet[str], ...] = ()
+        for fault in self.messages:
+            if fault.window.covers(round_index):
+                extra_loss = max(extra_loss, fault.extra_loss)
+                blocked.update(fault.blocked)
+                stale.update(fault.stale)
+        for partition in self.partitions:
+            if partition.window.covers(round_index):
+                groups = partition.groups
+        for crash in self.crashes:
+            if crash.window.covers(round_index):
+                crashed.add(crash.name)
+        for flip in self.byzantine:
+            if flip.window.covers(round_index):
+                overrides[flip.name] = Behaviour.BYZANTINE
+        faults = RoundFaults(
+            extra_loss=extra_loss,
+            blocked=frozenset(blocked),
+            stale=frozenset(stale),
+            behaviour_overrides=overrides,
+            crashed=frozenset(crashed),
+            partitions=groups,
+        )
+        return faults if faults.any_active else None
+
+    def stream_disconnected(self, stream_time: int) -> bool:
+        """Is the collector's connection down at ``stream_time`` seconds?"""
+        return any(f.window.covers(stream_time) for f in self.stream)
+
+    def byzantine_names(self) -> FrozenSet[str]:
+        return frozenset(flip.name for flip in self.byzantine)
+
+
+# Named plans ------------------------------------------------------------------
+#
+# Builders take the drill's round count and roster (ordered validator names)
+# and lay schedules proportionally, so the same plan name scales from a
+# 100-round smoke run to a full two-week-equivalent drill.
+
+
+def _round_window(rounds: int, start: float, end: float) -> Window:
+    return Window(int(rounds * start), int(rounds * end))
+
+
+def _time_window(rounds: int, start: float, end: float) -> Window:
+    return Window(
+        int(rounds * start) * CLOSE_INTERVAL_SECONDS,
+        int(rounds * end) * CLOSE_INTERVAL_SECONDS,
+    )
+
+
+def partition_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Chase & MacBrough's UNL-overlap scenario: split, heal, re-split.
+
+    The master UNL is cut into two overlapping halves for a third of the
+    run; neither side reaches the 80 % validation quorum, the node retries
+    and degrades, and after the heal the chain recovers — the paper's
+    'consensus keeps working' claim exercised under the worst published
+    partition schedule.
+    """
+    half = max(1, len(roster) // 2)
+    first, second = frozenset(roster[:half]), frozenset(roster[half:])
+    return FaultPlan(
+        name="partition",
+        description="two overlapping-UNL partitions with a heal between them",
+        partitions=(
+            PartitionFault(_round_window(rounds, 0.20, 0.45), (first, second)),
+            PartitionFault(_round_window(rounds, 0.70, 0.85), (first, second)),
+        ),
+        stream=(StreamFault(_time_window(rounds, 0.30, 0.38)),),
+    )
+
+
+def delay_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Amores-Sesar et al.'s message-delay schedule.
+
+    An adversary delaying proposals from half the validators (stale
+    positions plus heavy link loss) keeps deliberation from converging —
+    the liveness violation of their Theorem 2, bounded here by the node's
+    retry/degradation policy.
+    """
+    delayed = tuple(roster[: max(1, len(roster) // 2)])
+    return FaultPlan(
+        name="delay",
+        description="adversarial message delay/reorder on half the roster",
+        messages=(
+            MessageFault(
+                _round_window(rounds, 0.25, 0.55),
+                extra_loss=0.45,
+                stale=delayed,
+            ),
+            MessageFault(
+                _round_window(rounds, 0.55, 0.65),
+                blocked=delayed[: max(1, len(delayed) // 2)],
+            ),
+        ),
+    )
+
+
+def crash_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Rolling validator crash/restart across the most trusted servers."""
+    slice_width = 0.15
+    crashes = []
+    for index, name in enumerate(roster[: min(5, len(roster))]):
+        start = 0.15 + index * 0.12
+        crashes.append(
+            CrashFault(name, _round_window(rounds, start, start + slice_width))
+        )
+    return FaultPlan(
+        name="crash",
+        description="rolling crash/restart of the five most trusted validators",
+        crashes=tuple(crashes),
+    )
+
+
+def byzantine_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Flip just under 20 % of the roster to byzantine for half the run.
+
+    Below the f < n/5 bound of the consensus white paper the network must
+    keep validating — the safety side of the robustness claim.
+    """
+    count = max(1, (len(roster) - 1) // 5)
+    flips = tuple(
+        ByzantineFault(name, _round_window(rounds, 0.25, 0.75))
+        for name in roster[-count:]
+    )
+    return FaultPlan(
+        name="byzantine",
+        description="<20% of validators propose conflicting sets",
+        byzantine=flips,
+    )
+
+
+def disconnect_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Repeated validation-stream disconnects; the collector must survive
+    reconnection and deduplicate the replayed events."""
+    return FaultPlan(
+        name="disconnect",
+        description="three stream disconnects with at-least-once replay",
+        stream=(
+            StreamFault(_time_window(rounds, 0.10, 0.20)),
+            StreamFault(_time_window(rounds, 0.45, 0.50)),
+            StreamFault(_time_window(rounds, 0.75, 0.90)),
+        ),
+    )
+
+
+def mixed_plan(rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Everything at once: the 'as many scenarios as you can imagine' drill."""
+    base = partition_plan(rounds, roster)
+    delay = delay_plan(rounds, roster)
+    byz = byzantine_plan(rounds, roster)
+    crash = crash_plan(rounds, roster)
+    return FaultPlan(
+        name="mixed",
+        description="partitions + delays + crashes + byzantine flips",
+        messages=delay.messages,
+        partitions=base.partitions,
+        crashes=crash.crashes[:2],
+        byzantine=byz.byzantine[:1],
+        stream=base.stream,
+    )
+
+
+PLANS: Dict[str, Callable[[int, Sequence[str]], FaultPlan]] = {
+    "partition": partition_plan,
+    "delay": delay_plan,
+    "crash": crash_plan,
+    "byzantine": byzantine_plan,
+    "disconnect": disconnect_plan,
+    "mixed": mixed_plan,
+}
+
+
+def build_plan(name: str, rounds: int, roster: Sequence[str]) -> FaultPlan:
+    """Materialize the named plan for a run of ``rounds`` over ``roster``."""
+    try:
+        builder = PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; known: {', '.join(sorted(PLANS))}"
+        ) from None
+    return builder(rounds, roster)
+
+
+def random_plan(
+    seed: int,
+    rounds: int,
+    roster: Sequence[str],
+    max_byzantine_fraction: float = 0.2,
+) -> FaultPlan:
+    """A seed-stable arbitrary plan, used by the safety property tests.
+
+    Byzantine flips are capped strictly below ``max_byzantine_fraction`` of
+    the roster, matching the f < n/5 regime in which the cited analyses
+    prove agreement — plans drawn from this generator must never produce
+    two conflicting validated pages at the same sequence.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(roster)
+
+    def window() -> Window:
+        start = int(rng.integers(0, max(1, rounds - 1)))
+        end = int(rng.integers(start + 1, rounds + 1))
+        return Window(start, end)
+
+    messages = tuple(
+        MessageFault(
+            window(),
+            extra_loss=float(rng.uniform(0.0, 0.6)),
+            blocked=tuple(
+                rng.choice(names, size=int(rng.integers(0, len(names) // 2 + 1)),
+                           replace=False)
+            ),
+            stale=tuple(
+                rng.choice(names, size=int(rng.integers(0, len(names) // 2 + 1)),
+                           replace=False)
+            ),
+        )
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    partitions = ()
+    if rng.random() < 0.6:
+        cut = int(rng.integers(1, len(names)))
+        partitions = (
+            PartitionFault(
+                window(), (frozenset(names[:cut]), frozenset(names[cut:]))
+            ),
+        )
+    crashes = tuple(
+        CrashFault(str(rng.choice(names)), window())
+        for _ in range(int(rng.integers(0, 3)))
+    )
+    max_byzantine = int(np.ceil(len(names) * max_byzantine_fraction)) - 1
+    byz_count = int(rng.integers(0, max(0, max_byzantine) + 1))
+    byz_names = rng.choice(names, size=byz_count, replace=False) if byz_count else []
+    byzantine = tuple(ByzantineFault(str(name), window()) for name in byz_names)
+    return FaultPlan(
+        name=f"random-{seed}",
+        description="randomized plan for property testing",
+        messages=messages,
+        partitions=partitions,
+        crashes=crashes,
+        byzantine=byzantine,
+    )

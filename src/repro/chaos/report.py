@@ -1,0 +1,88 @@
+"""Rendering chaos drills, and their registration as a CLI artifact.
+
+The report mirrors Fig. 2 of the paper — per-validator total vs. valid
+signed pages — but adds the degradation ledger: how many closes needed
+retries, how many sealed off a reduced quorum, how often the validation
+stream dropped and recovered.  Importing this module registers the
+``chaos`` artifact, so ``python -m repro chaos --plan partition``
+dispatches through the same :mod:`repro.api` table as the figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api.registry import register
+from repro.chaos.drill import DrillReport, run_drill
+from repro.chaos.plan import PLANS
+
+
+def _flags(row) -> str:
+    marks = []
+    if row.is_ripple_labs:
+        marks.append("ripple-labs")
+    if row.is_byzantine:
+        marks.append("byzantine")
+    return " ".join(marks)
+
+
+def render_chaos_report(report: DrillReport) -> str:
+    """The drill outcome as terminal text (Fig. 2 health + fault counters)."""
+    plan = report.plan
+    lines = [
+        f"Chaos drill — plan '{plan.name}' (seed {report.seed}, "
+        f"{report.rounds} close attempts)",
+        f"  {plan.description}",
+        "",
+        "Ledger closes",
+        f"  attempted {report.closes_attempted:5d}   "
+        f"validated {report.validated_closes:5d}   "
+        f"degraded {report.degraded_closes:4d}   "
+        f"failed {report.failed_closes:4d}",
+        f"  round retries {report.round_retries:4d}   "
+        f"availability {report.availability * 100:5.1f}%",
+        "",
+        "Validation stream",
+        f"  relayed {report.stream_relayed:6d}   "
+        f"replayed {report.stream_replayed:5d}   "
+        f"reconnects {report.stream_reconnects:3d}   "
+        f"duplicates dropped {report.duplicates_dropped:5d}",
+        "",
+        "Injected faults",
+    ]
+    for name, value in report.counters.as_dict().items():
+        if value:
+            lines.append(f"  {name:24s} {value:8d}")
+    lines += [
+        "",
+        "Validator health (total vs. valid signed pages, as in Fig. 2)",
+        f"  {'validator':26s} {'total':>7s} {'valid':>7s} {'valid%':>7s}",
+    ]
+    for row in report.health:
+        lines.append(
+            f"  {row.name:26s} {row.total_pages:7d} {row.valid_pages:7d} "
+            f"{row.valid_fraction * 100:6.1f}%  {_flags(row)}".rstrip()
+        )
+    payments = (
+        f"  payments applied {report.payments_applied}/"
+        f"{report.payments_submitted}"
+    )
+    return "\n".join(lines + ["", "Payments", payments])
+
+
+def _compute_chaos(args: argparse.Namespace) -> DrillReport:
+    return run_drill(
+        getattr(args, "plan", "partition"),
+        seed=args.seed,
+        rounds=getattr(args, "rounds", 240),
+    )
+
+
+register(
+    "chaos",
+    "fault-injection drill: validator health under a fault plan",
+    _compute_chaos,
+    lambda report, args: render_chaos_report(report),
+)
+
+__all__ = ["render_chaos_report", "PLANS"]

@@ -6,11 +6,15 @@
     python -m repro fig3               # information gain (Fig. 3)
     python -m repro fig2 --period jul2016 --scale 600
     python -m repro table2
+    python -m repro chaos --plan partition --seed 3
     python -m repro generate --out ledger.jsonl.gz --payments 20000
     python -m repro attack --seed 3    # run one latte attack
 
-Every command works on a freshly generated synthetic history (cached per
-process) or, where it makes sense, on a previously dumped archive.
+Artifact commands (``fig2``–``fig7``, ``table2``, ``chaos``) dispatch
+through the :data:`repro.api.ARTIFACTS` registry — the CLI has no
+per-artifact logic of its own.  Every subcommand shares one flag set
+(``--seed/--scale/--out/--profile`` plus ``--payments/--archive``) via a
+common parent parser.
 """
 
 from __future__ import annotations
@@ -20,123 +24,44 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.analysis import (
-    TransactionDataset,
-    currency_ranking,
-    figure5_curves,
-    offer_concentration,
-    path_structure,
-    table2,
-    top_intermediaries,
-)
-from repro.analysis.archive import dump_archive, load_archive
-from repro.analysis.report import (
-    render_figure2,
-    render_figure3,
-    render_figure4,
-    render_figure5,
-    render_figure6,
-    render_figure7,
-    render_table2,
-)
-from repro.core.deanonymizer import Deanonymizer
-from repro.core.robustness import run_period
+import repro.chaos.report  # noqa: F401  (registers the 'chaos' artifact)
+from repro.api import ARTIFACTS, artifact, economy_config
+from repro.errors import AnalysisError
+from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
+from repro.chaos.plan import PLANS
 from repro.perf import PERF
-from repro.stream.periods import PERIODS, period
-from repro.synthetic.config import EconomyConfig
+from repro.stream.periods import PERIODS
 from repro.synthetic.generator import generate_history
-
-ARTIFACTS = {
-    "fig2": "validator activity over the three collection periods",
-    "fig3": "information gain per feature list",
-    "fig4": "most used currencies",
-    "fig5": "survival functions of payment amounts",
-    "fig6": "payment path structure",
-    "fig7": "top-50 intermediaries",
-    "table2": "delivery without market makers",
-}
-
-
-def _config(args: argparse.Namespace) -> EconomyConfig:
-    return EconomyConfig(
-        seed=args.seed,
-        n_payments=args.payments,
-        n_users=max(10, args.payments // 33),
-        n_offers=args.payments * 4,
-    )
-
-
-def _dataset_for(args: argparse.Namespace):
-    if getattr(args, "archive", None):
-        records = load_archive(args.archive)
-        return None, TransactionDataset.from_records(records)
-    history = generate_history(_config(args))
-    return history, TransactionDataset.from_records(history.records)
 
 
 def cmd_figures(_args: argparse.Namespace) -> int:
-    for key, description in ARTIFACTS.items():
-        print(f"  {key:7s} {description}")
+    for name, entry in ARTIFACTS.items():
+        print(f"  {name:7s} {entry.description}")
     return 0
 
 
-def cmd_fig2(args: argparse.Namespace) -> int:
-    keys = [args.period] if args.period else [spec.key for spec in PERIODS]
-    for key in keys:
-        report = run_period(period(key), scale=1.0 / args.scale, seed=args.seed)
-        print(render_figure2(report))
-        print()
-    return 0
-
-
-def cmd_fig3(args: argparse.Namespace) -> int:
-    _, dataset = _dataset_for(args)
-    print(render_figure3(Deanonymizer(dataset).figure3()))
-    return 0
-
-
-def cmd_fig4(args: argparse.Namespace) -> int:
-    _, dataset = _dataset_for(args)
-    print(render_figure4(currency_ranking(dataset), top=args.top))
-    return 0
-
-
-def cmd_fig5(args: argparse.Namespace) -> int:
-    _, dataset = _dataset_for(args)
-    points = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10)
-    print(render_figure5(figure5_curves(dataset), points))
-    return 0
-
-
-def cmd_fig6(args: argparse.Namespace) -> int:
-    _, dataset = _dataset_for(args)
-    print(render_figure6(path_structure(dataset)))
-    return 0
-
-
-def cmd_fig7(args: argparse.Namespace) -> int:
-    history, _ = _dataset_for(args)
-    if history is None:
-        print("fig7 needs ledger state; run without --archive", file=sys.stderr)
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """Dispatch any registered artifact: compute, render, print, maybe save."""
+    try:
+        text = artifact(args.command).run(args)
+    except AnalysisError as exc:  # ArtifactError included
+        print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
-    print(render_figure7(top_intermediaries(history, args.top)))
-    concentration = offer_concentration(history.offer_records)
-    print(f"\noffer concentration: "
-          f"{dict((k, round(v, 3)) for k, v in concentration.shares.items())}")
-    return 0
-
-
-def cmd_table2(args: argparse.Namespace) -> int:
-    history, _ = _dataset_for(args)
-    if history is None:
-        print("table2 needs ledger state; run without --archive", file=sys.stderr)
-        return 2
-    print(render_table2(table2(history)))
+    print(text)
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    history = generate_history(_config(args))
+    from repro.analysis.archive import dump_archive
+
+    if not args.out:
+        print("generate: --out is required", file=sys.stderr)
+        return 2
+    history = generate_history(economy_config(args))
     written = dump_archive(history.records, args.out)
     print(f"wrote {written} payments to {args.out}")
     return 0
@@ -162,9 +87,10 @@ def cmd_bench_node(args: argparse.Namespace) -> int:
 
     from repro.bench import run_node
 
-    payload = run_node(Path(args.out))
+    out = args.out or "BENCH_node.json"
+    payload = run_node(Path(out))
     print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -173,9 +99,10 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
 
     from repro.bench import run_pipeline
 
-    payload = run_pipeline(Path(args.out))
+    out = args.out or "BENCH_pipeline.json"
+    payload = run_pipeline(Path(out))
     print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -222,6 +149,31 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _common_parent() -> argparse.ArgumentParser:
+    """The flag set every subcommand shares (the unified CLI surface).
+
+    ``--profile`` uses ``SUPPRESS`` so a subcommand parse never clobbers
+    the top-level ``--profile`` already recorded in the namespace
+    (``python -m repro --profile fig3`` and ``python -m repro fig3
+    --profile`` are both accepted).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=20170652,
+                        help="master RNG seed (default 20170652)")
+    parent.add_argument("--scale", type=int, default=600,
+                        help="simulate 1/SCALE of a collection period")
+    parent.add_argument("--out", type=str, default=None,
+                        help="also write the output to this path")
+    parent.add_argument("--payments", type=int, default=12_000,
+                        help="synthetic history size (default 12000)")
+    parent.add_argument("--archive", type=str, default=None,
+                        help="read payments from a dumped archive instead")
+    parent.add_argument("--profile", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="collect perf counters/timers and report on exit")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -230,78 +182,66 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile",
         action="store_true",
+        default=False,
         help="collect perf counters/timers and print a report on exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    parent = _common_parent()
 
-    def add_common(sub: argparse.ArgumentParser, archive: bool = True) -> None:
-        sub.add_argument("--seed", type=int, default=20170652)
-        sub.add_argument("--payments", type=int, default=12_000,
-                         help="synthetic history size (default 12000)")
-        if archive:
-            sub.add_argument("--archive", type=str, default=None,
-                             help="read payments from a dumped archive instead")
-
-    sub = subparsers.add_parser("figures", help="list reproducible artifacts")
+    sub = subparsers.add_parser("figures", parents=[parent],
+                                help="list reproducible artifacts")
     sub.set_defaults(func=cmd_figures)
 
-    sub = subparsers.add_parser("fig2", help=ARTIFACTS["fig2"])
-    sub.add_argument("--period", choices=[s.key for s in PERIODS], default=None)
-    sub.add_argument("--scale", type=int, default=600,
-                     help="simulate 1/SCALE of the two-week period")
-    sub.add_argument("--seed", type=int, default=20170652)
-    sub.set_defaults(func=cmd_fig2)
+    # Every registered artifact becomes a subcommand dispatching through
+    # the registry; only artifact-specific flags are declared here.
+    for name, entry in ARTIFACTS.items():
+        sub = subparsers.add_parser(name, parents=[parent],
+                                    help=entry.description)
+        if name == "fig2":
+            sub.add_argument("--period", default=None,
+                             choices=[s.key for s in PERIODS])
+        elif name == "fig4":
+            sub.add_argument("--top", type=int, default=25)
+        elif name == "fig7":
+            sub.add_argument("--top", type=int, default=50)
+        elif name == "chaos":
+            sub.add_argument("--plan", default="partition",
+                             choices=sorted(PLANS),
+                             help="named fault plan to replay")
+            sub.add_argument("--rounds", type=int, default=240,
+                             help="ledger-close attempts to drive")
+        sub.set_defaults(func=cmd_artifact)
 
-    for key, fn in (("fig3", cmd_fig3), ("fig5", cmd_fig5), ("fig6", cmd_fig6)):
-        sub = subparsers.add_parser(key, help=ARTIFACTS[key])
-        add_common(sub)
-        sub.set_defaults(func=fn)
-
-    sub = subparsers.add_parser("fig4", help=ARTIFACTS["fig4"])
-    add_common(sub)
-    sub.add_argument("--top", type=int, default=25)
-    sub.set_defaults(func=cmd_fig4)
-
-    sub = subparsers.add_parser("fig7", help=ARTIFACTS["fig7"])
-    add_common(sub, archive=False)
-    sub.add_argument("--top", type=int, default=50)
-    sub.set_defaults(func=cmd_fig7)
-
-    sub = subparsers.add_parser("table2", help=ARTIFACTS["table2"])
-    add_common(sub, archive=False)
-    sub.set_defaults(func=cmd_table2)
-
-    sub = subparsers.add_parser("generate", help="dump a synthetic ledger archive")
-    add_common(sub, archive=False)
-    sub.add_argument("--out", type=str, required=True)
+    sub = subparsers.add_parser("generate", parents=[parent],
+                                help="dump a synthetic ledger archive")
     sub.set_defaults(func=cmd_generate)
 
-    sub = subparsers.add_parser("attack", help="run one latte attack")
-    add_common(sub)
+    sub = subparsers.add_parser("attack", parents=[parent],
+                                help="run one latte attack")
     sub.set_defaults(func=cmd_attack)
 
     sub = subparsers.add_parser(
-        "defenses", help="evaluate de-anonymization countermeasures"
+        "defenses", parents=[parent],
+        help="evaluate de-anonymization countermeasures",
     )
-    add_common(sub)
     sub.set_defaults(func=cmd_defenses)
 
     sub = subparsers.add_parser(
-        "rewards", help="simulate the Section IV validator-reward proposal"
+        "rewards", parents=[parent],
+        help="simulate the Section IV validator-reward proposal",
     )
-    sub.add_argument("--seed", type=int, default=20170652)
     sub.set_defaults(func=cmd_rewards)
 
     sub = subparsers.add_parser(
-        "bench-node", help="measure engine/path-finder throughput"
+        "bench-node", parents=[parent],
+        help="measure engine/path-finder throughput",
     )
-    sub.add_argument("--out", type=str, default="BENCH_node.json")
     sub.set_defaults(func=cmd_bench_node)
 
     sub = subparsers.add_parser(
-        "bench-smoke", help="measure the reduced generation->fig3 pipeline"
+        "bench-smoke", parents=[parent],
+        help="measure the reduced generation->fig3 pipeline",
     )
-    sub.add_argument("--out", type=str, default="BENCH_pipeline.json")
     sub.set_defaults(func=cmd_bench_smoke)
 
     return parser
@@ -310,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.profile:
+    if getattr(args, "profile", False):
         PERF.enable()
     try:
         return args.func(args)

@@ -34,6 +34,23 @@ TxSupplier = Callable[[int, np.random.Generator], FrozenSet[bytes]]
 ValidationObserver = Callable[[Validation], None]
 
 
+class ChaosHook:
+    """Duck-typed interface the engine expects from a chaos injector.
+
+    :class:`repro.chaos.ChaosInjector` is the real implementation; the
+    engine only relies on these two methods so the consensus layer never
+    imports the chaos package.
+    """
+
+    def faults_for_round(self, absolute_round, validators):  # pragma: no cover
+        """Return a :class:`~repro.consensus.faults.RoundFaults` or None."""
+        raise NotImplementedError
+
+    def note_round(self, faults, outcome):  # pragma: no cover
+        """Account one fault-injected round's observable effects."""
+        raise NotImplementedError
+
+
 def default_tx_supplier(round_index: int, rng: np.random.Generator) -> FrozenSet[bytes]:
     """A small random batch of pending transaction hashes per round."""
     count = int(rng.integers(4, 12))
@@ -91,6 +108,7 @@ class ConsensusEngine:
         seed: int = 0,
         sign_pages: bool = False,
         keep_outcomes: bool = False,
+        chaos: Optional["ChaosHook"] = None,
     ):
         if not validators:
             raise ConsensusError("need at least one validator")
@@ -109,6 +127,7 @@ class ConsensusEngine:
         self.rng = np.random.default_rng(seed)
         self.sign_pages = sign_pages
         self.keep_outcomes = keep_outcomes
+        self.chaos = chaos
         self.observers: List[ValidationObserver] = []
         #: Current head hash per ledger instance (network id).
         self.heads: Dict[int, bytes] = {0: b"\x00" * 32}
@@ -133,20 +152,37 @@ class ConsensusEngine:
 
         for round_index in range(num_rounds):
             tx_pool = tx_supplier(round_index, self.rng)
-            outcome = run_round(
-                round_index=round_index,
-                sequence=self.sequence,
-                parent_hashes=self.heads,
-                close_time=self.close_time,
-                tx_pool=tx_pool,
-                validators=self.validators,
-                master_unl=self.master_unl,
-                network=self.network,
-                rng=self.rng,
-                thresholds=self.thresholds,
-                quorum=self.quorum,
-                sign_pages=self.sign_pages,
-            )
+            # Chaos schedules are expressed in *absolute* rounds so they
+            # stay meaningful when a node drives the engine one round at a
+            # time (sequence 1 closed the first page => round 0).
+            faults = None
+            if self.chaos is not None:
+                faults = self.chaos.faults_for_round(
+                    self.sequence - 1, self.validators
+                )
+            saved_partitions = self.network.partitions
+            if faults is not None and faults.partitions:
+                self.network.partitions = list(faults.partitions)
+            try:
+                outcome = run_round(
+                    round_index=round_index,
+                    sequence=self.sequence,
+                    parent_hashes=self.heads,
+                    close_time=self.close_time,
+                    tx_pool=tx_pool,
+                    validators=self.validators,
+                    master_unl=self.master_unl,
+                    network=self.network,
+                    rng=self.rng,
+                    thresholds=self.thresholds,
+                    quorum=self.quorum,
+                    sign_pages=self.sign_pages,
+                    faults=faults,
+                )
+            finally:
+                self.network.partitions = saved_partitions
+            if faults is not None and self.chaos is not None:
+                self.chaos.note_round(faults, outcome)
             self._advance(outcome)
             self._account(report, outcome)
             if self.keep_outcomes:

@@ -19,8 +19,8 @@ a ``byzantine`` flag for validators that propose conflicting sets.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 
 class Behaviour(enum.Enum):
@@ -93,6 +93,56 @@ def byzantine(availability: float = 0.97) -> ValidatorProfile:
     return ValidatorProfile(
         Behaviour.BYZANTINE, availability=availability, sync_quality=1.0
     )
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """Faults injected into one consensus round.
+
+    Produced by :class:`repro.chaos.ChaosInjector` and consumed by
+    :func:`repro.consensus.rounds.run_round`; an absent (``None``) instance
+    means the round runs exactly the pre-chaos code path, so simulations
+    with chaos off stay bit-for-bit reproducible.
+
+    ``extra_loss``          — additional message-loss probability on every
+                              link this round (message-drop schedules).
+    ``blocked``             — validators whose outgoing proposals are all
+                              suppressed this round (a delayed message in a
+                              synchronous round model arrives too late to
+                              count, i.e. it is dropped for the round).
+    ``stale``               — validators whose proposals arrive one
+                              deliberation iteration late (delay/reorder of
+                              position updates).
+    ``behaviour_overrides`` — validator name -> behaviour forced for this
+                              round (byzantine flips, forced recovery).
+    ``crashed``             — validators that are down this round; they do
+                              not participate at all.
+    ``partitions``          — partition groups in force this round, replacing
+                              the network model's static partitions.
+    """
+
+    extra_loss: float = 0.0
+    blocked: FrozenSet[str] = frozenset()
+    stale: FrozenSet[str] = frozenset()
+    behaviour_overrides: Dict[str, Behaviour] = field(default_factory=dict)
+    crashed: FrozenSet[str] = frozenset()
+    partitions: Tuple[FrozenSet[str], ...] = ()
+
+    def behaviour_of(self, validator: "object") -> Behaviour:
+        """Effective behaviour of ``validator`` under this round's faults."""
+        override = self.behaviour_overrides.get(validator.name)
+        return override if override is not None else validator.behaviour
+
+    @property
+    def any_active(self) -> bool:
+        return bool(
+            self.extra_loss
+            or self.blocked
+            or self.stale
+            or self.behaviour_overrides
+            or self.crashed
+            or self.partitions
+        )
 
 
 def windowed(profile: ValidatorProfile, start: int, end: int) -> ValidatorProfile:

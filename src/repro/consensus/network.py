@@ -58,17 +58,27 @@ class NetworkModel:
         self,
         participants: Sequence[Validator],
         rng: np.random.Generator,
+        extra_loss: float = 0.0,
+        blocked: FrozenSet[str] = frozenset(),
     ) -> np.ndarray:
         """Vectorized delivery sampling: ``out[i, j]`` is True when the
         proposal of participant ``i`` reaches participant ``j``.
 
         Same semantics as :meth:`delivery_matrix` but sampled as one numpy
         draw, which is what lets the engine run tens of thousands of rounds.
+
+        ``extra_loss`` and ``blocked`` are chaos-injection hooks: additional
+        loss probability applied to every link, and speakers whose outgoing
+        proposals are all suppressed this round.  Both default to no effect
+        and consume no extra randomness, keeping fault-free runs
+        bit-for-bit identical.
         """
         n = len(participants)
         losses = np.array([self._loss_for(v) for v in participants])
         networks = np.array([v.network_id for v in participants])
-        loss = np.minimum(0.98, self.base_loss + losses[:, None] + losses[None, :])
+        loss = np.minimum(
+            0.98, self.base_loss + extra_loss + losses[:, None] + losses[None, :]
+        )
         delivered = rng.random((n, n)) >= loss
         delivered &= networks[:, None] == networks[None, :]
         if self.partitions:
@@ -76,6 +86,10 @@ class NetworkModel:
                 for j, b in enumerate(participants):
                     if i != j and self._partitioned(a.name, b.name):
                         delivered[i, j] = False
+        if blocked:
+            for i, speaker in enumerate(participants):
+                if speaker.name in blocked:
+                    delivered[i, :] = False
         np.fill_diagonal(delivered, False)
         return delivered
 

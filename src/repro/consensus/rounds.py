@@ -27,7 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.consensus.faults import Behaviour
+from repro.consensus.faults import Behaviour, RoundFaults
 from repro.consensus.network import NetworkModel
 from repro.consensus.proposals import Validation
 from repro.consensus.unl import UNL
@@ -65,6 +65,10 @@ class RoundOutcome:
     validated_tx_set: FrozenSet[bytes] = frozenset()
     agreement: float = 0.0
     participants: List[str] = field(default_factory=list)
+    #: The page with the most master-UNL votes, even below quorum — what a
+    #: degraded node seals when full validation is unreachable.
+    plurality_hash: Optional[bytes] = None
+    plurality_tx_set: FrozenSet[bytes] = frozenset()
 
     @property
     def validated(self) -> bool:
@@ -84,48 +88,76 @@ def run_round(
     thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     quorum: float = DEFAULT_QUORUM,
     sign_pages: bool = False,
+    faults: Optional[RoundFaults] = None,
 ) -> RoundOutcome:
     """Run one full consensus round and return its outcome.
 
     ``parent_hashes`` maps network id -> hash of that instance's current
     head; the function mutates nothing — the engine owns chain state.
+
+    ``faults`` carries the chaos directives for this round (see
+    :class:`repro.consensus.faults.RoundFaults`).  ``None`` runs the exact
+    pre-chaos code path with the exact same randomness consumption.
     """
     outcome = RoundOutcome(
         round_index=round_index, sequence=sequence, close_time=close_time
     )
-    participants = [v for v in validators if v.participates(round_index, rng)]
+    candidates = validators
+    if faults is not None and faults.crashed:
+        candidates = [v for v in validators if v.name not in faults.crashed]
+    participants = [v for v in candidates if v.participates(round_index, rng)]
     outcome.participants = [v.name for v in participants]
     if not participants:
         return outcome
 
+    def behaviour_of(validator: Validator) -> Behaviour:
+        if faults is not None:
+            return faults.behaviour_of(validator)
+        return validator.behaviour
+
     main = [v for v in participants if v.network_id == 0]
-    index_of = {v.name: i for i, v in enumerate(main)}
 
     # --- Deliberation on the main net ------------------------------------
     positions: Dict[str, Set[bytes]] = {}
     for validator in main:
-        if validator.behaviour is Behaviour.BYZANTINE:
+        if behaviour_of(validator) is Behaviour.BYZANTINE:
             positions[validator.name] = validator.byzantine_position(tx_pool, rng)
         else:
             positions[validator.name] = validator.initial_position(tx_pool, rng)
 
     if main:
-        delivered = network.delivery_array(main, rng)
+        if faults is not None and (faults.extra_loss or faults.blocked):
+            delivered = network.delivery_array(
+                main, rng, extra_loss=faults.extra_loss, blocked=faults.blocked
+            )
+        else:
+            delivered = network.delivery_array(main, rng)
+        stale = faults.stale if faults is not None else frozenset()
+        #: Positions from the previous deliberation iteration, served in
+        #: place of current ones for validators whose proposals are delayed
+        #: or reordered on the wire.
+        lagged_positions: Dict[str, Set[bytes]] = {}
         for threshold in thresholds:
             next_positions: Dict[str, Set[bytes]] = {}
             for j, listener in enumerate(main):
                 heard = {
-                    speaker.name: positions[speaker.name]
+                    speaker.name: (
+                        lagged_positions[speaker.name]
+                        if speaker.name in stale
+                        and speaker.name in lagged_positions
+                        else positions[speaker.name]
+                    )
                     for i, speaker in enumerate(main)
                     if delivered[i, j]
                 }
                 next_positions[listener.name] = listener.update_position(
                     positions[listener.name], heard, threshold
                 )
+            lagged_positions = positions
             positions = next_positions
             # Byzantine validators keep injecting disagreement.
             for validator in main:
-                if validator.behaviour is Behaviour.BYZANTINE:
+                if behaviour_of(validator) is Behaviour.BYZANTINE:
                     positions[validator.name] = validator.byzantine_position(
                         tx_pool, rng
                     )
@@ -153,7 +185,7 @@ def run_round(
     page_of: Dict[str, bytes] = {}
     tx_set_of: Dict[str, FrozenSet[bytes]] = {}
     for validator in main:
-        requires_quorum = validator.behaviour is Behaviour.ACTIVE
+        requires_quorum = behaviour_of(validator) is Behaviour.ACTIVE
         if requires_quorum and heard_of[validator.name] < quorum * len(validator.unl):
             continue
         final_set = frozenset(positions[validator.name])
@@ -198,11 +230,14 @@ def run_round(
     if votes:
         best_hash, best_count = max(votes.items(), key=lambda kv: kv[1])
         outcome.agreement = best_count / len(master_unl)
+        # The plurality page is recorded even below quorum: a degraded node
+        # seals it (validated=False) when full validation is unreachable.
+        outcome.plurality_hash = best_hash
+        for name, page in page_of.items():
+            if page == best_hash:
+                outcome.plurality_tx_set = tx_set_of[name]
+                break
         if best_count >= master_unl.quorum_size(quorum):
             outcome.validated_hash = best_hash
-            # Recover the agreed tx set from any in-sync signer of the page.
-            for name, page in page_of.items():
-                if page == best_hash:
-                    outcome.validated_tx_set = tx_set_of[name]
-                    break
+            outcome.validated_tx_set = outcome.plurality_tx_set
     return outcome

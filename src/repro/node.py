@@ -13,6 +13,13 @@
    is the authoritative payment timestamp — the exact field the paper's
    de-anonymization study reads off the public ledger.
 
+The node has real resilience semantics: a failed consensus round is
+retried under a :class:`RetryPolicy` (exponential backoff with jitter in
+simulated time), and when retries are exhausted an opt-in *degraded mode*
+seals the plurality page off a reduced quorum, recording
+``validated=False`` ledgers exactly as the paper's forked validators
+produce pages that never enter the main chain.
+
 This is the component a downstream user scripts against when they want the
 whole system rather than one substrate.
 """
@@ -22,9 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.consensus.engine import ConsensusEngine
 from repro.consensus.faults import active
 from repro.consensus.network import NetworkModel
+from repro.consensus.rounds import RoundOutcome
 from repro.consensus.unl import UNL
 from repro.consensus.validator import Validator
 from repro.errors import ConsensusError
@@ -32,11 +42,41 @@ from repro.ledger.apply import ApplyCode, AppliedTransaction, TransactionApplier
 from repro.ledger.pages import LedgerChain, LedgerPage
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import Payment, Transaction
+from repro.perf import PERF
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry of failed consensus rounds, with backoff and jitter.
+
+    Backoff is expressed in *simulated* seconds: the node advances the
+    engine's close clock while it waits, so retried rounds carry realistic
+    close-time gaps (the paper reads payment timestamps off close times).
+    """
+
+    max_retries: int = 3
+    base_backoff: float = 2.0
+    multiplier: float = 2.0
+    max_backoff: float = 60.0
+    #: Fractional jitter: each backoff is scaled by 1 ± jitter.
+    jitter: float = 0.25
+
+    def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> int:
+        """Simulated seconds to wait before retry number ``attempt + 1``."""
+        delay = min(self.max_backoff, self.base_backoff * self.multiplier ** attempt)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return max(1, int(round(delay)))
 
 
 @dataclass
 class ClosedLedger:
-    """One sealed ledger: the page plus per-transaction apply outcomes."""
+    """One sealed ledger: the page plus per-transaction apply outcomes.
+
+    ``validated=False`` marks a degraded close: the page was sealed from a
+    plurality position without reaching the full validation quorum, so it
+    never enters the main chain's validated history.
+    """
 
     page: LedgerPage
     applied: List[AppliedTransaction] = field(default_factory=list)
@@ -64,6 +104,10 @@ class RippledNode:
         require_signatures: bool = True,
         network: Optional[NetworkModel] = None,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        allow_degraded: bool = False,
+        degraded_quorum: float = 0.4,
+        chaos: Optional[object] = None,
     ):
         self.state = state if state is not None else LedgerState()
         self.applier = TransactionApplier(
@@ -75,13 +119,28 @@ class RippledNode:
             network=network or NetworkModel(),
             seed=seed,
             keep_outcomes=True,
+            chaos=chaos,
         )
         self.chain = LedgerChain.with_genesis()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.allow_degraded = allow_degraded
+        self.degraded_quorum = degraded_quorum
+        self.chaos = chaos
+        #: Backoff jitter draws come from a dedicated generator so retries
+        #: never perturb the consensus engine's random stream.
+        self._retry_rng = np.random.default_rng(seed ^ 0x5EED)
         #: open-ledger pool: tx hash -> transaction awaiting consensus.
         self.pool: Dict[bytes, Transaction] = {}
         self.closed_ledgers: List[ClosedLedger] = []
         #: submissions rejected before reaching the pool, for diagnostics.
         self.rejected: List[AppliedTransaction] = []
+        #: Fully validated page hashes, i.e. the node's view of the main
+        #: chain — degraded closes never appear here.
+        self.validated_hashes: List[bytes] = []
+        # Resilience counters (also mirrored into the chaos injector).
+        self.round_retries = 0
+        self.degraded_closes = 0
+        self.failed_closes = 0
 
     # Submission -------------------------------------------------------------------
 
@@ -113,24 +172,48 @@ class RippledNode:
     # Consensus & close ---------------------------------------------------------------
 
     def close_ledger(self) -> Optional[ClosedLedger]:
-        """Run one consensus round over the pool and seal the agreed set.
+        """Run consensus over the pool and seal the agreed set.
 
-        Returns the closed ledger, or None when the round failed to reach
-        the validation quorum (the pool is retained for the next round).
+        A round that misses the validation quorum is retried under the
+        node's :class:`RetryPolicy`, backing off in simulated time.  When
+        retries are exhausted: with ``allow_degraded`` the node seals the
+        plurality page anyway (``validated=False``) provided its agreement
+        reached ``degraded_quorum``; otherwise returns None and the pool
+        is retained for the next close.
         """
         pool_snapshot = dict(self.pool)
 
         def tx_supplier(_round, _rng):
             return frozenset(pool_snapshot.keys())
 
-        report = self.consensus.run(1, tx_supplier=tx_supplier)
-        outcome = report.outcomes[-1]
-        if not outcome.validated:
+        outcome = self._consensus_with_retry(tx_supplier)
+        if outcome.validated:
+            agreed_set = outcome.validated_tx_set
+            validated = True
+        elif (
+            self.allow_degraded
+            and outcome.plurality_hash is not None
+            and outcome.agreement >= self.degraded_quorum
+        ):
+            # Degraded close: seal the best-supported page off the reduced
+            # quorum.  The page never enters the validated main chain —
+            # the same observable the paper's forked validators produce.
+            agreed_set = outcome.plurality_tx_set
+            validated = False
+            self.degraded_closes += 1
+            PERF.count("node.degraded_closes")
+            if self.chaos is not None:
+                self.chaos.note_degraded_close()
+        else:
+            self.failed_closes += 1
+            PERF.count("node.failed_closes")
+            if self.chaos is not None:
+                self.chaos.note_failed_close()
             return None
 
         agreed = [
             (tx_hash, pool_snapshot[tx_hash])
-            for tx_hash in outcome.validated_tx_set
+            for tx_hash in agreed_set
             if tx_hash in pool_snapshot
         ]
         # Canonical application order: deterministic across all servers.
@@ -151,9 +234,36 @@ class RippledNode:
         # on other servers; transactions left in our pool retry next round.
 
         page = self.chain.seal(recorded, close_time=outcome.close_time)
-        closed = ClosedLedger(page=page, applied=applied)
+        closed = ClosedLedger(page=page, applied=applied, validated=validated)
         self.closed_ledgers.append(closed)
+        if validated:
+            self.validated_hashes.append(outcome.validated_hash)
         return closed
+
+    def _consensus_with_retry(self, tx_supplier) -> RoundOutcome:
+        """Run rounds until one validates or the retry budget is spent.
+
+        Returns the last outcome either way; the caller decides whether a
+        non-validated outcome becomes a degraded close or a failed one.
+        """
+        attempts = self.retry.max_retries + 1
+        outcome: RoundOutcome
+        for attempt in range(attempts):
+            report = self.consensus.run(1, tx_supplier=tx_supplier)
+            outcome = report.outcomes[-1]
+            if outcome.validated:
+                return outcome
+            if attempt + 1 < attempts:
+                self.round_retries += 1
+                PERF.count("node.round_retries")
+                if self.chaos is not None:
+                    self.chaos.note_retry()
+                # Exponential backoff with jitter, in simulated time: the
+                # close clock advances while the node waits to retry.
+                self.consensus.close_time += self.retry.backoff_seconds(
+                    attempt, self._retry_rng
+                )
+        return outcome
 
     def run(self, rounds: int) -> List[ClosedLedger]:
         """Close up to ``rounds`` ledgers; skipped rounds retry the pool."""

@@ -10,7 +10,7 @@ validator vouched for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StreamError
 from repro.stream.events import StreamEvent
@@ -18,21 +18,65 @@ from repro.stream.events import StreamEvent
 
 @dataclass
 class StreamCollector:
-    """Accumulates stream events within an optional time window."""
+    """Accumulates stream events within an optional time window.
+
+    The window is **closed on both ends**: an event is kept when
+    ``window_start <= received_at <= window_end`` (either bound may be
+    ``None`` for unbounded).  In particular ``window_start == window_end
+    == T`` is a one-instant window that accepts exactly the events
+    received at ``T`` — it is *not* an empty half-open interval.  See
+    :meth:`record`.
+
+    With ``dedupe=True`` the collector survives at-least-once delivery:
+    replayed events (same validator, sequence, page hash, and sign time)
+    are dropped and counted in ``duplicates_dropped`` — required when the
+    upstream :class:`~repro.stream.server.StreamServer` reconnects after
+    an injected disconnect and replays its buffer.
+    """
 
     #: Inclusive collection window in stream time; None = unbounded.
     window_start: Optional[int] = None
     window_end: Optional[int] = None
     events: List[StreamEvent] = field(default_factory=list)
+    #: Drop exact redeliveries (reconnect replays). Off by default: the
+    #: validation stream legitimately carries repeated signatures, and the
+    #: paper's total-pages counts keep their multiplicity.
+    dedupe: bool = False
+    #: Optional chaos injector notified of dropped duplicates.
+    chaos: Optional[object] = None
+    duplicates_dropped: int = 0
+    _seen: Set[Tuple[str, int, bytes, int]] = field(
+        default_factory=set, repr=False
+    )
 
     def __call__(self, event: StreamEvent) -> None:
         self.record(event)
 
     def record(self, event: StreamEvent) -> None:
+        """Store ``event`` if it falls inside the closed collection window.
+
+        Window contract: inclusive start, inclusive end —
+        ``window_start <= received_at <= window_end``.  Events outside the
+        window are silently ignored (the stream keeps flowing; the
+        collector simply is not recording them).
+        """
         if self.window_start is not None and event.received_at < self.window_start:
             return
         if self.window_end is not None and event.received_at > self.window_end:
             return
+        if self.dedupe:
+            key = (
+                event.validator,
+                event.sequence,
+                event.page_hash,
+                event.validation.sign_time,
+            )
+            if key in self._seen:
+                self.duplicates_dropped += 1
+                if self.chaos is not None:
+                    self.chaos.note_duplicate_dropped()
+                return
+            self._seen.add(key)
         self.events.append(event)
 
     # Aggregations --------------------------------------------------------------

@@ -5,12 +5,20 @@ validation stream to capture and store" consensus data.  Our equivalent is
 ``StreamServer``: it attaches to a :class:`~repro.consensus.engine.
 ConsensusEngine` as a validation observer, adds receive-side delay, and fans
 events out to any number of subscribers (the collector among them).
+
+A chaos injector (:class:`repro.chaos.ChaosInjector`) can force the
+subscriber connection down for scheduled windows.  The server then buffers
+events and, on reconnect, replays the buffer *plus* the last few events it
+had already delivered — at-least-once semantics, exactly what a websocket
+client resuming a validation stream sees.  Subscribers that must not double
+count (the collector) deduplicate on their side.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional
 
 import numpy as np
 
@@ -32,13 +40,23 @@ class StreamServer:
     #: stream capture is lossy at the edges, as any overlay gossip is.
     loss_rate: float = 0.002
     seed: int = 0
+    #: Optional chaos injector scheduling subscriber disconnects.
+    chaos: Optional[object] = None
+    #: How many already-delivered events are replayed again after a
+    #: reconnect (the at-least-once overlap subscribers must deduplicate).
+    replay_overlap: int = 4
     _subscribers: List[Subscriber] = field(default_factory=list)
     _rng: Optional[np.random.Generator] = field(default=None, repr=False)
+    _pending: List[StreamEvent] = field(default_factory=list, repr=False)
+    _recent: Optional[Deque[StreamEvent]] = field(default=None, repr=False)
     relayed: int = 0
     dropped: int = 0
+    replayed: int = 0
+    reconnects: int = 0
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        self._recent = deque(maxlen=self.replay_overlap)
 
     def subscribe(self, subscriber: Subscriber) -> None:
         self._subscribers.append(subscriber)
@@ -57,9 +75,40 @@ class StreamServer:
             validation=validation,
             received_at=validation.sign_time + int(round(delay)),
         )
+        if self.chaos is not None and self.chaos.stream_disconnected(
+            validation.sign_time
+        ):
+            # Connection down: hold the event for replay on reconnect.
+            self._pending.append(event)
+            self.chaos.note_stream_buffered()
+            return
+        if self._pending:
+            self._replay()
         self.relayed += 1
+        if self.chaos is not None:
+            self._recent.append(event)
+        self._deliver(event)
+
+    def _replay(self) -> None:
+        """Reconnect: flush buffered events, re-sending a recent overlap."""
+        replayed = list(self._recent) + self._pending
+        self._pending = []
+        self.reconnects += 1
+        self.replayed += len(replayed)
+        if self.chaos is not None:
+            self.chaos.note_stream_replayed(len(replayed))
+        for event in replayed:
+            self._recent.append(event)
+            self._deliver(event)
+
+    def _deliver(self, event: StreamEvent) -> None:
         for subscriber in self._subscribers:
             subscriber(event)
+
+    def flush(self) -> None:
+        """Deliver anything still buffered (run ended while disconnected)."""
+        if self._pending:
+            self._replay()
 
     def require_subscribers(self) -> None:
         if not self._subscribers:

@@ -1,0 +1,116 @@
+"""The artifact registry and its CLI integration."""
+
+import argparse
+
+import pytest
+
+import repro.chaos.report  # noqa: F401  (registers the chaos artifact)
+from repro.api import ARTIFACTS, Artifact, ArtifactError, artifact, names, register
+from repro.cli import main
+
+
+class TestRegistry:
+    def test_paper_artifacts_registered(self):
+        for name in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table2"):
+            assert name in ARTIFACTS
+            assert ARTIFACTS[name].description
+
+    def test_extensions_self_register(self):
+        assert "chaos" in ARTIFACTS  # registered by repro.chaos.report
+
+    def test_unknown_artifact_raises(self):
+        with pytest.raises(ArtifactError, match="unknown artifact"):
+            artifact("fig99")
+
+    def test_names_preserve_registration_order(self):
+        listed = names()
+        assert listed.index("fig2") < listed.index("table2")
+
+    def test_run_composes_compute_and_render(self):
+        entry = Artifact(
+            name="t",
+            description="test",
+            compute=lambda args: args.seed * 2,
+            render=lambda payload, args: f"payload={payload}",
+        )
+        assert entry.run(argparse.Namespace(seed=21)) == "payload=42"
+
+    def test_register_replaces(self):
+        first = register("_tmp", "one", lambda a: 1, lambda p, a: str(p))
+        second = register("_tmp", "two", lambda a: 2, lambda p, a: str(p))
+        try:
+            assert ARTIFACTS["_tmp"] is second is not first
+        finally:
+            del ARTIFACTS["_tmp"]
+
+
+class TestDeprecatedAliases:
+    def test_analysis_report_reexports_api_render(self):
+        from repro.analysis import report as old
+        from repro.api import render as new
+
+        for name in (
+            "render_figure2", "render_figure3", "render_figure4",
+            "render_figure5", "render_figure6", "render_figure7",
+            "render_table2",
+        ):
+            assert getattr(old, name) is getattr(new, name)
+
+
+class TestCliDispatch:
+    def test_figures_lists_registry(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_chaos_command(self, capsys):
+        assert main(["chaos", "--plan", "disconnect", "--rounds", "40",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos drill" in out
+        assert "Validator health" in out
+
+    def test_out_flag_writes_rendered_text(self, capsys, tmp_path):
+        out_path = tmp_path / "fig4.txt"
+        assert main(["fig4", "--payments", "1200", "--seed", "5",
+                     "--out", str(out_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert out_path.read_text().strip() == stdout.strip()
+
+    def test_archive_rejected_politely_for_state_artifacts(
+        self, capsys, tmp_path
+    ):
+        archive = str(tmp_path / "dump.jsonl.gz")
+        assert main(["generate", "--payments", "1200", "--seed", "5",
+                     "--out", archive]) == 0
+        capsys.readouterr()
+        assert main(["fig7", "--archive", archive]) == 2
+        assert "ledger state" in capsys.readouterr().err
+
+    def test_missing_archive_fails_without_traceback(self, capsys):
+        assert main(["fig3", "--archive", "nope.jsonl.gz"]) == 2
+        assert "archive not found" in capsys.readouterr().err
+
+    def test_profile_flag_accepted_in_both_positions(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        before = parser.parse_args(["--profile", "fig3"])
+        after = parser.parse_args(["fig3", "--profile"])
+        neither = parser.parse_args(["fig3"])
+        assert before.profile and after.profile
+        assert getattr(neither, "profile", False) is False
+
+    def test_shared_flags_on_every_subcommand(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = parser._subparsers._group_actions[0].choices  # noqa: SLF001
+        for name, sub in subparsers.items():
+            flags = {
+                option
+                for action in sub._actions  # noqa: SLF001
+                for option in action.option_strings
+            }
+            assert {"--seed", "--scale", "--out", "--profile"} <= flags, name

@@ -1,0 +1,54 @@
+"""The chaos injector: counter accounting and stream transitions."""
+
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.plan import FaultPlan, StreamFault, Window, build_plan
+from repro.consensus.faults import RoundFaults
+from repro.consensus.rounds import RoundOutcome
+
+ROSTER = [f"v{i}" for i in range(10)]
+
+
+def outcome(validated: bool = True) -> RoundOutcome:
+    return RoundOutcome(
+        round_index=0,
+        sequence=1,
+        close_time=0,
+        validated_hash=b"\x01" * 32 if validated else None,
+        participants=list(ROSTER),
+    )
+
+
+class TestRoundAccounting:
+    def test_quiet_plan_counts_nothing(self):
+        injector = ChaosInjector(FaultPlan(name="none"), seed=0)
+        assert injector.faults_for_round(5, []) is None
+        assert all(v == 0 for v in injector.counters.as_dict().values())
+
+    def test_partition_round_counted(self):
+        injector = ChaosInjector(build_plan("partition", 100, ROSTER), seed=0)
+        faults = injector.faults_for_round(30, [])
+        injector.note_round(faults, outcome(validated=False))
+        counts = injector.counters.as_dict()
+        assert counts["faulted_rounds"] == 1
+        assert counts["partition_rounds"] == 1
+        assert counts["rounds_not_validated"] == 1
+
+    def test_blocked_speakers_count_suppressed_messages(self):
+        injector = ChaosInjector(FaultPlan(name="x"), seed=0)
+        faults = RoundFaults(blocked=frozenset({"v0", "v1"}))
+        injector.note_round(faults, outcome())
+        # each silenced speaker loses a message to every other participant
+        assert injector.counters.messages_suppressed == 2 * (len(ROSTER) - 1)
+
+
+class TestStreamTransitions:
+    def test_one_reconnect_per_window(self):
+        plan = FaultPlan(
+            name="s",
+            stream=(StreamFault(Window(10, 20)), StreamFault(Window(40, 50))),
+        )
+        injector = ChaosInjector(plan, seed=0)
+        for t in range(60):
+            injector.stream_disconnected(t)
+        # one transition per window, not one per query
+        assert injector.counters.stream_disconnects == 2

@@ -1,0 +1,116 @@
+"""Fault plans: windows, merging, named builders, seeded generation."""
+
+import math
+
+import pytest
+
+from repro.chaos.plan import (
+    PLANS,
+    ByzantineFault,
+    FaultPlan,
+    MessageFault,
+    PartitionFault,
+    Window,
+    build_plan,
+    random_plan,
+)
+from repro.consensus.faults import Behaviour
+
+ROSTER = [f"v{i}" for i in range(13)]
+
+
+class TestWindow:
+    def test_half_open(self):
+        w = Window(3, 7)
+        assert not w.covers(2)
+        assert w.covers(3)
+        assert w.covers(6)
+        assert not w.covers(7)
+
+    def test_empty_window_covers_nothing(self):
+        assert not Window(5, 5).covers(5)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(7, 3)
+
+
+class TestRoundFaultsMerging:
+    def test_quiet_round_returns_none(self):
+        plan = build_plan("partition", 100, ROSTER)
+        assert plan.round_faults(0) is None
+        assert plan.round_faults(99) is None
+
+    def test_partition_window_active(self):
+        plan = build_plan("partition", 100, ROSTER)
+        faults = plan.round_faults(30)
+        assert faults is not None
+        assert len(faults.partitions) == 2
+        assert frozenset.union(*faults.partitions) == frozenset(ROSTER)
+
+    def test_overlapping_schedules_merge(self):
+        plan = FaultPlan(
+            name="merge",
+            messages=(
+                MessageFault(Window(0, 10), extra_loss=0.2, blocked=("v0",)),
+                MessageFault(Window(5, 15), extra_loss=0.4, stale=("v1",)),
+            ),
+            byzantine=(ByzantineFault("v2", Window(0, 10)),),
+        )
+        faults = plan.round_faults(7)
+        assert faults.extra_loss == 0.4  # max, not sum
+        assert faults.blocked == frozenset({"v0"})
+        assert faults.stale == frozenset({"v1"})
+        assert faults.behaviour_overrides["v2"] is Behaviour.BYZANTINE
+
+    def test_crash_window(self):
+        plan = build_plan("crash", 100, ROSTER)
+        crashed_rounds = [
+            r for r in range(100)
+            if plan.round_faults(r) and plan.round_faults(r).crashed
+        ]
+        assert crashed_rounds  # rolling crashes actually scheduled
+        # never the whole roster at once
+        for r in crashed_rounds:
+            assert len(plan.round_faults(r).crashed) < len(ROSTER)
+
+
+class TestNamedPlans:
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_every_plan_builds(self, name):
+        plan = build_plan(name, 120, ROSTER)
+        assert plan.name == name
+        assert plan.description
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(KeyError, match="unknown fault plan"):
+            build_plan("meteor", 100, ROSTER)
+
+    def test_byzantine_plan_below_one_fifth(self):
+        plan = build_plan("byzantine", 100, ROSTER)
+        assert 0 < len(plan.byzantine_names()) < len(ROSTER) / 5
+
+    def test_stream_plan_uses_time_not_rounds(self):
+        from repro.consensus.engine import CLOSE_INTERVAL_SECONDS
+
+        plan = build_plan("disconnect", 100, ROSTER)
+        # windows are in seconds (rounds * close interval), not round indices
+        assert all(
+            f.window.start % CLOSE_INTERVAL_SECONDS == 0 for f in plan.stream
+        )
+        assert max(f.window.end for f in plan.stream) > 100
+        assert plan.stream_disconnected(plan.stream[0].window.start)
+        assert not plan.stream_disconnected(plan.stream[0].window.end)
+
+
+class TestRandomPlan:
+    def test_seed_stable(self):
+        assert random_plan(42, 80, ROSTER) == random_plan(42, 80, ROSTER)
+
+    def test_seeds_differ(self):
+        assert random_plan(1, 80, ROSTER) != random_plan(2, 80, ROSTER)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_byzantine_weight_strictly_below_cap(self, seed):
+        plan = random_plan(seed, 80, ROSTER, max_byzantine_fraction=0.2)
+        assert len(plan.byzantine_names()) < math.ceil(len(ROSTER) * 0.2)

@@ -1,0 +1,75 @@
+"""Safety under randomized faults (the paper's agreement property).
+
+Any fault plan with byzantine weight strictly below 20 % of a roster with
+fully overlapping UNLs must never yield two *conflicting* validated pages
+at the same sequence — the f < n/5 agreement bound of the consensus white
+paper, which the cited analyses (Chase & MacBrough; Amores-Sesar et al.)
+show is tight only when UNLs diverge.  Liveness may degrade arbitrarily;
+safety may not.
+"""
+
+from typing import Dict, List, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import ChaosInjector, random_plan
+from repro.chaos.drill import drill_roster
+from repro.ledger.state import LedgerState
+from repro.node import RetryPolicy, RippledNode
+
+ROUNDS = 25
+
+
+def _quorum_hashes_per_sequence(node, validations) -> Dict[int, Set[bytes]]:
+    """Page hashes that reached the 80% master-UNL quorum, per sequence."""
+    master = node.consensus.master_unl
+    needed = node.consensus.quorum * len(master)
+    support: Dict[int, Dict[bytes, Set[str]]] = {}
+    for v in validations:
+        if v.validator not in master:
+            continue
+        support.setdefault(v.sequence, {}).setdefault(
+            v.page_hash, set()
+        ).add(v.validator)
+    return {
+        sequence: {
+            page for page, names in pages.items() if len(names) >= needed
+        }
+        for sequence, pages in support.items()
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_conflicting_validated_pages(seed):
+    roster = drill_roster()
+    plan = random_plan(seed, ROUNDS, [v.name for v in roster],
+                       max_byzantine_fraction=0.2)
+    node = RippledNode(
+        state=LedgerState(),
+        validators=roster,
+        require_signatures=False,
+        seed=seed,
+        retry=RetryPolicy(max_retries=1),
+        allow_degraded=True,
+        chaos=ChaosInjector(plan, seed=seed),
+    )
+    validations: List = []
+    node.consensus.subscribe(validations.append)
+    for _ in range(ROUNDS):
+        node.close_ledger()
+
+    # At most one page hash may ever reach quorum at a given sequence —
+    # retried rounds included (their close times differ, so a failed
+    # attempt can never lend support to a later one).
+    for sequence, winners in _quorum_hashes_per_sequence(
+        node, validations
+    ).items():
+        assert len(winners) <= 1, (
+            f"sequence {sequence} validated {len(winners)} conflicting pages "
+            f"under plan {plan.name}"
+        )
+
+    # And the node's own main chain has one page per sequence.
+    assert len(node.validated_hashes) == len(set(node.validated_hashes))
