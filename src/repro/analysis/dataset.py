@@ -179,6 +179,31 @@ class TransactionDataset:
             _currency_index=self._currency_index,
         )
 
+    def slice_rows(self, start: int, stop: int) -> "TransactionDataset":
+        """A contiguous row shard ``[start, stop)`` for parallel execution.
+
+        The factorization dictionaries (``accounts``, ``currencies``) are
+        shared with the parent dataset, so sender/destination/currency ids
+        in a shard mean exactly what they mean globally — per-shard
+        partials can be merged without re-aligning identifiers.
+        """
+        return TransactionDataset(
+            accounts=self.accounts,
+            currencies=self.currencies,
+            timestamps=self.timestamps[start:stop],
+            sender_ids=self.sender_ids[start:stop],
+            destination_ids=self.destination_ids[start:stop],
+            currency_ids=self.currency_ids[start:stop],
+            amounts=self.amounts[start:stop],
+            intermediate_hops=self.intermediate_hops[start:stop],
+            parallel_paths=self.parallel_paths[start:stop],
+            is_xrp_direct=self.is_xrp_direct[start:stop],
+            cross_currency=self.cross_currency[start:stop],
+            kinds=self.kinds[start:stop],
+            _account_index=self._account_index,
+            _currency_index=self._currency_index,
+        )
+
     def multi_hop_mask(self) -> np.ndarray:
         """The Fig. 6 population: non-direct-XRP with ≥1 intermediate."""
         return (~self.is_xrp_direct) & (self.intermediate_hops >= 1)

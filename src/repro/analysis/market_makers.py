@@ -96,11 +96,17 @@ class ReplayResult:
         return [self.cross_currency, self.single_currency, self.total]
 
 
-def replay_without_market_makers(
+def replay_outcomes(
     history: SyntheticHistory,
     remove_market_makers: bool = True,
-) -> ReplayResult:
-    """Run the Table II counterfactual over a generated history.
+) -> List[Tuple[bool, bool]]:
+    """Run the Table II counterfactual; one ``(is_cross_currency,
+    delivered)`` outcome per replayed payment, in replay order.
+
+    The replay itself is inherently sequential — every delivered payment
+    consumes liquidity the next payments see — so it always runs in one
+    process; only the outcome *tally* is shardable (see
+    :func:`tally_outcomes` / :func:`merge_replay_results`).
 
     With ``remove_market_makers=False`` the same replay runs on the intact
     network — the control measuring replay fidelity rather than the attack.
@@ -123,7 +129,7 @@ def replay_without_market_makers(
             Amount.from_value(Currency(event.currency), event.limit),
         )
 
-    result = ReplayResult()
+    outcomes: List[Tuple[bool, bool]] = []
     for intent in sorted(history.replay_intents, key=lambda i: i.timestamp):
         if intent.kind == "deposit":
             # Issuance from a gateway to its customer: a one-hop payment on
@@ -137,12 +143,6 @@ def replay_without_market_makers(
             except Exception:
                 pass  # dropped deposits only make later payments harder
             continue
-        row = (
-            result.cross_currency
-            if intent.is_cross_currency
-            else result.single_currency
-        )
-        row.submitted += 1
         send_max = None
         if intent.is_cross_currency:
             send_max = Amount.from_value(
@@ -156,9 +156,40 @@ def replay_without_market_makers(
             banned_intermediaries=banned,
             allow_offers=not remove_market_makers,
         )
-        if outcome.success:
+        outcomes.append((intent.is_cross_currency, outcome.success))
+    return outcomes
+
+
+def tally_outcomes(outcomes: Sequence[Tuple[bool, bool]]) -> ReplayResult:
+    """Count replay outcomes into Table II rows (pure, shardable)."""
+    result = ReplayResult()
+    for is_cross_currency, delivered in outcomes:
+        row = (
+            result.cross_currency if is_cross_currency else result.single_currency
+        )
+        row.submitted += 1
+        if delivered:
             row.delivered += 1
     return result
+
+
+def merge_replay_results(partials: Sequence[ReplayResult]) -> ReplayResult:
+    """Sum per-shard tallies (integer addition — order-independent)."""
+    merged = ReplayResult()
+    for partial in partials:
+        merged.cross_currency.submitted += partial.cross_currency.submitted
+        merged.cross_currency.delivered += partial.cross_currency.delivered
+        merged.single_currency.submitted += partial.single_currency.submitted
+        merged.single_currency.delivered += partial.single_currency.delivered
+    return merged
+
+
+def replay_without_market_makers(
+    history: SyntheticHistory,
+    remove_market_makers: bool = True,
+) -> ReplayResult:
+    """Run the Table II counterfactual over a generated history."""
+    return tally_outcomes(replay_outcomes(history, remove_market_makers))
 
 
 def table2(history: SyntheticHistory) -> ReplayResult:

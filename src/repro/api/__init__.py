@@ -11,6 +11,7 @@ from repro.api.registry import (
     ARTIFACTS,
     Artifact,
     ArtifactError,
+    ShardedCompute,
     artifact,
     names,
     register,
@@ -24,6 +25,7 @@ from repro.api.render import (
     render_figure5,
     render_figure6,
     render_figure7,
+    render_population,
     render_table2,
 )
 
@@ -31,6 +33,7 @@ __all__ = [
     "ARTIFACTS",
     "Artifact",
     "ArtifactError",
+    "ShardedCompute",
     "artifact",
     "dataset_for",
     "economy_config",
@@ -43,5 +46,6 @@ __all__ = [
     "render_figure5",
     "render_figure6",
     "render_figure7",
+    "render_population",
     "render_table2",
 ]

@@ -22,7 +22,22 @@ from repro.analysis import (
     top_intermediaries,
 )
 from repro.analysis.archive import load_archive
-from repro.api.registry import ArtifactError, register
+from repro.analysis.market_makers import (
+    merge_replay_results,
+    replay_outcomes,
+    tally_outcomes,
+)
+from repro.analysis.population import (
+    merge_population_partials,
+    monthly_volume,
+    population_shard_partial,
+    population_stats,
+)
+from repro.analysis.survival import (
+    figure5_shard_partial,
+    merge_figure5_partials,
+)
+from repro.api.registry import ArtifactError, ShardedCompute, register
 from repro.api.render import (
     render_figure2,
     render_figure3,
@@ -30,10 +45,16 @@ from repro.api.render import (
     render_figure5,
     render_figure6,
     render_figure7,
+    render_population,
     render_table2,
 )
-from repro.core.deanonymizer import Deanonymizer
+from repro.core.deanonymizer import (
+    Deanonymizer,
+    figure3_shard_partial,
+    merge_figure3_partials,
+)
 from repro.core.robustness import PeriodReport, run_period
+from repro.parallel.sharding import shard_ranges
 from repro.stream.periods import PERIODS, period
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.generator import generate_history
@@ -71,6 +92,29 @@ def history_for(args: argparse.Namespace):
     return history
 
 
+# Shared sharding helpers ----------------------------------------------------
+
+
+def _dataset_context(args: argparse.Namespace) -> TransactionDataset:
+    """Parent-side prepare for dataset-based sharded artifacts."""
+    return dataset_for(args)[1]
+
+
+def dataset_shards(dataset: TransactionDataset, n_shards: int) -> List:
+    """Contiguous row shards sharing the dataset's global factorization."""
+    return [
+        dataset.slice_rows(start, stop)
+        for start, stop in shard_ranges(len(dataset), n_shards)
+    ]
+
+
+def _sequence_shards(items, n_shards: int) -> List:
+    """Contiguous slices of a plain sequence (e.g. replay outcomes)."""
+    return [
+        items[start:stop] for start, stop in shard_ranges(len(items), n_shards)
+    ]
+
+
 # fig2 ----------------------------------------------------------------------
 
 
@@ -104,6 +148,12 @@ register(
     "information gain per feature list",
     lambda args: Deanonymizer(dataset_for(args)[1]).figure3(),
     lambda gains, args: render_figure3(gains),
+    sharded=ShardedCompute(
+        prepare=_dataset_context,
+        shards=dataset_shards,
+        compute_shard=figure3_shard_partial,
+        merge=lambda partials, dataset: merge_figure3_partials(partials),
+    ),
 )
 
 
@@ -126,6 +176,12 @@ register(
     "survival functions of payment amounts",
     lambda args: figure5_curves(dataset_for(args)[1]),
     lambda curves, args: render_figure5(curves, FIGURE5_POINTS),
+    sharded=ShardedCompute(
+        prepare=_dataset_context,
+        shards=dataset_shards,
+        compute_shard=figure5_shard_partial,
+        merge=lambda partials, dataset: merge_figure5_partials(partials),
+    ),
 )
 
 
@@ -175,4 +231,35 @@ register(
     "delivery without market makers",
     lambda args: table2(history_for(args)),
     lambda result, args: render_table2(result),
+    # The replay itself is stateful and runs serially in prepare; only the
+    # outcome tally shards.  The contract still buys determinism coverage:
+    # any partition of the outcome stream merges to the same fractions.
+    sharded=ShardedCompute(
+        prepare=lambda args: replay_outcomes(history_for(args)),
+        shards=_sequence_shards,
+        compute_shard=tally_outcomes,
+        merge=lambda partials, outcomes: merge_replay_results(partials),
+    ),
+)
+
+
+# population ----------------------------------------------------------------
+
+
+def _compute_population(args: argparse.Namespace):
+    dataset = _dataset_context(args)
+    return population_stats(dataset), monthly_volume(dataset)
+
+
+register(
+    "population",
+    "appendix D population statistics (accounts, activity, growth)",
+    _compute_population,
+    lambda payload, args: render_population(*payload),
+    sharded=ShardedCompute(
+        prepare=_dataset_context,
+        shards=dataset_shards,
+        compute_shard=population_shard_partial,
+        merge=lambda partials, dataset: merge_population_partials(partials),
+    ),
 )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import AnalysisError
 
@@ -26,6 +26,29 @@ class ArtifactError(AnalysisError):
 
 
 @dataclass(frozen=True)
+class ShardedCompute:
+    """Optional map/reduce contract of an artifact.
+
+    An artifact that registers one can run across a worker pool
+    (:mod:`repro.parallel`): ``prepare`` builds the shared input in the
+    parent (e.g. the columnar dataset), ``shards`` splits it into at most
+    ``n`` contiguous, picklable shard payloads, ``compute_shard`` — a
+    *module-level* function, so it pickles by reference into workers —
+    maps one shard to a partial, and ``merge`` reduces the partials.
+
+    The contract every implementation must honour: ``merge`` is
+    **order-independent** over shard partials and its result is
+    **bit-for-bit identical** to the serial ``compute`` for any contiguous
+    partition of the input — the golden-equivalence suite enforces this.
+    """
+
+    prepare: Callable[[argparse.Namespace], Any]
+    shards: Callable[[Any, int], List[Any]]
+    compute_shard: Callable[[Any], Any]
+    merge: Callable[[List[Any], Any], Any]
+
+
+@dataclass(frozen=True)
 class Artifact:
     """One reproducible artifact: how to compute it and how to show it."""
 
@@ -33,10 +56,24 @@ class Artifact:
     description: str
     compute: Compute
     render: Render
+    #: Optional map/reduce contract; ``compute`` stays the serial fallback.
+    sharded: Optional[ShardedCompute] = None
+
+    def compute_payload(self, args: argparse.Namespace) -> Any:
+        """Compute the payload, sharding across workers when asked to.
+
+        Serial (``compute``) unless the artifact has a sharded contract
+        *and* the parsed arguments request more than one worker; the
+        execution engine itself falls back to serial when parallelism is
+        disabled via ``REPRO_DISABLE_PARALLEL=1``.
+        """
+        from repro.parallel.engine import run_compute
+
+        return run_compute(self, args)
 
     def run(self, args: argparse.Namespace) -> str:
         """Compute the payload and render it for the terminal."""
-        return self.render(self.compute(args), args)
+        return self.render(self.compute_payload(args), args)
 
 
 #: name -> Artifact, in registration order (figures list order).
@@ -48,10 +85,12 @@ def register(
     description: str,
     compute: Compute,
     render: Render,
+    sharded: Optional[ShardedCompute] = None,
 ) -> Artifact:
     """Register an artifact; later registrations replace earlier ones."""
     artifact = Artifact(
-        name=name, description=description, compute=compute, render=render
+        name=name, description=description, compute=compute, render=render,
+        sharded=sharded,
     )
     ARTIFACTS[name] = artifact
     return artifact

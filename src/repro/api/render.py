@@ -116,3 +116,19 @@ def render_table2(result: ReplayResult) -> str:
             f"{row.delivery_rate * 100:7.1f}%"
         )
     return "\n".join(lines)
+
+
+def render_population(stats, monthly) -> str:
+    """Appendix D population statistics plus the monthly growth curve."""
+    lines = [
+        "Population — accounts, activity, growth (appendix D)",
+        f"  accounts seen              {stats.accounts_seen:12,d}",
+        f"  active senders             {stats.active_senders:12,d}"
+        f"  ({stats.active_share * 100:5.1f}% of seen)",
+        f"  payments / active sender   {stats.payments_per_active_sender:12.2f}",
+        f"  activity concentration     {stats.activity_concentration:12.4f}  (Gini)",
+        "  monthly volume:",
+    ]
+    for month, count in monthly:
+        lines.append(f"    month {month:4d}  {count:9d}")
+    return "\n".join(lines)

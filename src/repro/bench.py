@@ -159,10 +159,25 @@ def bench_node(
 
 def bench_pipeline(
     config: Optional[Dict[str, int]] = None,
+    jobs: int = 4,
 ) -> Dict[str, float]:
-    """Generation → ETL → Fig. 3 wall-clock on a reduced economy."""
+    """Generation → ETL → Fig. 3 wall-clock on a reduced economy.
+
+    Fig. 3 is measured twice — serial and sharded across ``jobs`` worker
+    processes via the same map/reduce contract the CLI's ``--jobs`` flag
+    uses — and the results are asserted identical before timings are
+    reported.  ``figure3_parallel_x`` is the recorded serial/parallel
+    speedup (>1 means sharding won; expect ~1 or below on a single-core
+    host, where the worker pool is pure overhead).
+    """
     from repro.analysis.dataset import TransactionDataset
-    from repro.core.deanonymizer import Deanonymizer
+    from repro.api.artifacts import dataset_shards
+    from repro.core.deanonymizer import (
+        Deanonymizer,
+        figure3_shard_partial,
+        merge_figure3_partials,
+    )
+    from repro.parallel.engine import effective_jobs, map_shards
     from repro.synthetic.config import EconomyConfig
     from repro.synthetic.generator import LedgerHistoryGenerator
 
@@ -180,10 +195,25 @@ def bench_pipeline(
     gains = Deanonymizer(dataset).figure3()
     fig3_s = time.perf_counter() - start
 
+    jobs = effective_jobs(jobs=jobs)
+    start = time.perf_counter()
+    if jobs > 1:
+        shards = dataset_shards(dataset, jobs)
+        partials = map_shards("fig3", figure3_shard_partial, shards, jobs)
+        merged = merge_figure3_partials(partials)
+    else:  # kill switch set: record the serial path under the parallel key
+        merged = Deanonymizer(dataset).figure3()
+    fig3_parallel_s = time.perf_counter() - start
+    if merged != gains:  # pragma: no cover - determinism regression guard
+        raise RuntimeError("sharded fig3 diverged from the serial result")
+
     return {
         "generation_s": round(generation_s, 4),
         "etl_s": round(etl_s, 5),
         "figure3_s": round(fig3_s, 5),
+        "figure3_parallel_s": round(fig3_parallel_s, 5),
+        "figure3_parallel_x": round(fig3_s / fig3_parallel_s, 4),
+        "parallel_jobs": jobs,
         "rows": len(dataset),
         "failed_payments": history.failed_payments,
         "fig3_first_identified": gains[0].identified,
@@ -194,7 +224,7 @@ def run_node(out_path: Path) -> Dict[str, object]:
     return write_result(out_path, "node", dict(NODE_CONFIG), bench_node())
 
 
-def run_pipeline(out_path: Path) -> Dict[str, object]:
+def run_pipeline(out_path: Path, jobs: int = 4) -> Dict[str, object]:
     return write_result(
-        out_path, "pipeline", dict(PIPELINE_CONFIG), bench_pipeline()
+        out_path, "pipeline", dict(PIPELINE_CONFIG), bench_pipeline(jobs=jobs)
     )

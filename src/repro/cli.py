@@ -100,7 +100,9 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     from repro.bench import run_pipeline
 
     out = args.out or "BENCH_pipeline.json"
-    payload = run_pipeline(Path(out))
+    # Serial-vs-parallel fig3 is part of the smoke run: 4 workers unless
+    # the user asks otherwise (--jobs 1 measures the serial path twice).
+    payload = run_pipeline(Path(out), jobs=getattr(args, "jobs", None) or 4)
     print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
     print(f"wrote {out}")
     return 0
@@ -168,6 +170,11 @@ def _common_parent() -> argparse.ArgumentParser:
                         help="synthetic history size (default 12000)")
     parent.add_argument("--archive", type=str, default=None,
                         help="read payments from a dumped archive instead")
+    parent.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sharded artifacts "
+                             "(default 1 = serial; output is bit-identical "
+                             "either way; REPRO_DISABLE_PARALLEL=1 forces "
+                             "serial)")
     parent.add_argument("--profile", action="store_true",
                         default=argparse.SUPPRESS,
                         help="collect perf counters/timers and report on exit")

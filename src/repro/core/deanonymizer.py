@@ -28,6 +28,7 @@ from repro.core.resolution import (
     AmountResolution,
     FeatureList,
     TimeResolution,
+    half_up,
 )
 from repro.errors import AnalysisError
 from repro.ledger.accounts import AccountID
@@ -52,6 +53,73 @@ class InformationGain:
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return f"{self.feature_list.label():28s} IG = {self.percent:6.2f}%"
+
+
+@dataclass(frozen=True)
+class Figure3Partial:
+    """One shard's contribution to Fig. 3: fingerprint histograms.
+
+    ``per_list[i]`` holds ``(rows, counts)`` for feature list ``i``:
+    ``rows`` are the shard's distinct fingerprints (one int64 row each)
+    and ``counts`` their multiplicities.  Identifiers inside the rows are
+    the parent dataset's global factorization (contiguous shards share the
+    factorization dictionaries), so partials from any shard partition
+    merge by exact row equality.
+    """
+
+    n: int
+    per_list: Tuple[Tuple[np.ndarray, np.ndarray], ...]
+
+
+def figure3_shard_partial(
+    dataset: TransactionDataset,
+    feature_lists: Sequence[FeatureList] = FIGURE3_FEATURE_LISTS,
+) -> Figure3Partial:
+    """Map step of the sharded Fig. 3 (runs inside a worker process)."""
+    with PERF.timer("deanon.figure3_shard"):
+        cache = FeatureColumnCache(dataset)
+        per_list = []
+        for feature_list in feature_lists:
+            matrix = build_fingerprints(dataset, feature_list, cache=cache)
+            rows, counts = np.unique(
+                matrix.columns, axis=0, return_counts=True
+            )
+            per_list.append((rows, counts.astype(np.int64)))
+        return Figure3Partial(n=len(dataset), per_list=tuple(per_list))
+
+
+def merge_figure3_partials(
+    partials: Sequence[Figure3Partial],
+    feature_lists: Sequence[FeatureList] = FIGURE3_FEATURE_LISTS,
+) -> List[InformationGain]:
+    """Order-independent reduce of shard partials to the Fig. 3 rows.
+
+    A payment is identified iff its fingerprint's summed multiplicity
+    across all shards is exactly one — the same integer count the serial
+    :func:`unique_fingerprint_mask` produces, so the merged result is
+    bit-for-bit identical to the unsharded run.
+    """
+    if not partials:
+        raise AnalysisError("no shard partials to merge")
+    total = sum(partial.n for partial in partials)
+    gains: List[InformationGain] = []
+    for index, feature_list in enumerate(feature_lists):
+        rows = np.concatenate([p.per_list[index][0] for p in partials])
+        counts = np.concatenate([p.per_list[index][1] for p in partials])
+        _, inverse = np.unique(rows, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        summed = np.zeros(
+            int(inverse.max()) + 1 if len(inverse) else 0, dtype=np.int64
+        )
+        np.add.at(summed, inverse, counts)
+        gains.append(
+            InformationGain(
+                feature_list=feature_list,
+                identified=int((summed == 1).sum()),
+                total=total,
+            )
+        )
+    return gains
 
 
 class Deanonymizer:
@@ -141,6 +209,11 @@ class Deanonymizer:
         if feature_list.time is not TimeResolution.NONE:
             if timestamp is None:
                 raise AnalysisError("feature list requires a timestamp observation")
+            if int(timestamp) < 0:
+                raise AnalysisError(
+                    "negative (pre-epoch) timestamp observation; timestamps "
+                    "are non-negative epoch seconds"
+                )
             bucket = feature_list.time.bucket_seconds()
             observed_bucket = (int(timestamp) // bucket) * bucket
             mask &= self._columns.time_column(feature_list.time) == observed_bucket
@@ -156,8 +229,10 @@ class Deanonymizer:
                 return np.empty(0, dtype=np.int64)
             row_exponent = int(per_row[np.argmax(currency_rows)])
             offset = feature_list.amount.exponent_offset()
+            # Same half-up tie rule as the dataset-side bucketing, so an
+            # observation exactly on a bucket edge matches its payments.
             observed_bucket = int(
-                np.round(amount / 10.0 ** (row_exponent + offset))
+                half_up(amount / 10.0 ** (row_exponent + offset))
             )
             mask &= buckets == observed_bucket
 

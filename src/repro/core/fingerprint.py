@@ -24,6 +24,7 @@ from repro.core.resolution import (
     TimeResolution,
     coarsen_timestamps,
     granularity_exponent,
+    half_up,
     round_amounts_vector,
 )
 from repro.errors import AnalysisError
@@ -54,15 +55,23 @@ class FeatureColumnCache:
 
     def __init__(self, dataset: TransactionDataset):
         self.dataset = dataset
+        self._currency_exponents: Optional[np.ndarray] = None
         self._per_row_exponents: Optional[np.ndarray] = None
         self._time: dict = {}
         self._amount: dict = {}
 
+    def currency_exponents(self) -> np.ndarray:
+        """Max-resolution exponent per currency (dataset currency order)."""
+        if self._currency_exponents is None:
+            self._currency_exponents = max_exponent_per_currency(self.dataset)
+        return self._currency_exponents
+
     def per_row_exponents(self) -> np.ndarray:
         """Max-resolution exponent of each row's currency."""
         if self._per_row_exponents is None:
-            exponents = max_exponent_per_currency(self.dataset)
-            self._per_row_exponents = exponents[self.dataset.currency_ids]
+            self._per_row_exponents = self.currency_exponents()[
+                self.dataset.currency_ids
+            ]
         return self._per_row_exponents
 
     def time_column(self, resolution: TimeResolution) -> np.ndarray:
@@ -89,10 +98,16 @@ class FeatureColumnCache:
                 # granularity depends on the currency, so we must NOT leak
                 # currency identity through the bucket scale.  Re-express
                 # buckets in absolute value terms: bucket * 10^exponent,
-                # quantized at the finest granularity present.
-                finest = int(per_row.min())
+                # quantized at the finest granularity of any currency in the
+                # dataset's factorization (not merely the rows at hand, so
+                # that a contiguous row shard rescales exactly like the full
+                # dataset — uniform rescaling preserves the grouping either
+                # way).  ``half_up`` snaps the integral-valued products back
+                # to exact integers with the same tie rule the bucketing
+                # itself uses.
+                finest = int(self.currency_exponents().min())
                 scale = np.power(10.0, (per_row - finest).astype(np.float64))
-                found = np.round(found * scale).astype(np.int64)
+                found = half_up(found * scale).astype(np.int64)
             self._amount[key] = found
         return found
 

@@ -84,13 +84,27 @@ def granularity_exponent(currency: Currency, resolution: AmountResolution) -> Op
     return GRANULARITY_EXPONENTS[strength_of(currency)][offset]
 
 
+def half_up(values):
+    """Round half-up: ``floor(x + 0.5)`` (scalar or ndarray).
+
+    Table I coarsening must put boundary amounts in a *deterministic*
+    bucket: ``np.round`` rounds half-to-even (banker's rounding), so 0.5
+    and 1.5 land in the same bucket (0 and 2) while 2.5 joins 2 — amounts
+    exactly on a bucket edge would split inconsistently.  Half-up matches
+    :meth:`repro.ledger.amounts.Amount.round_to` (half-away-from-zero for
+    the positive amounts a payment can carry) and keeps the scalar, the
+    vectorized, and the attacker-query paths in the same bucket.
+    """
+    return np.floor(np.asarray(values, dtype=np.float64) + 0.5)
+
+
 def round_amount(value: float, currency: Currency, resolution: AmountResolution) -> float:
     """Round a single amount per Table I (scalar convenience API)."""
     exponent = granularity_exponent(currency, resolution)
     if exponent is None:
         return float("nan")
     granularity = 10.0 ** exponent
-    return float(np.round(value / granularity) * granularity)
+    return float(half_up(value / granularity) * granularity)
 
 
 def round_amounts_vector(
@@ -102,23 +116,36 @@ def round_amounts_vector(
 
     ``currency_exponents`` holds, per row, the *max-resolution* exponent of
     the row's currency; the resolution offset shifts it.  Returns integer
-    bucket ids (amount / 10^exponent, rounded), which is what fingerprint
-    grouping needs — two amounts are indistinguishable iff they share a
-    bucket.
+    bucket ids (amount / 10^exponent, rounded half-up), which is what
+    fingerprint grouping needs — two amounts are indistinguishable iff they
+    share a bucket.
     """
     offset = resolution.exponent_offset()
     if offset is None:
         raise ValueError("cannot round at resolution NONE")
     exponents = currency_exponents + offset
     scale = np.power(10.0, -exponents.astype(np.float64))
-    return np.round(amounts * scale).astype(np.int64)
+    return half_up(amounts * scale).astype(np.int64)
 
 
 def coarsen_timestamps(timestamps: np.ndarray, resolution: TimeResolution) -> np.ndarray:
-    """Truncate timestamps to the resolution's bucket (vectorized)."""
+    """Truncate timestamps to the resolution's bucket (vectorized).
+
+    Timestamps are epoch seconds and must be non-negative: floor division
+    would silently place pre-epoch timestamps in the *earlier* bucket
+    (``-1 // 60 == -1``), which is neither the truncation an observer of
+    wall-clock times applies nor an error — so negative inputs are
+    rejected outright instead of producing shifted buckets.
+    """
     bucket = resolution.bucket_seconds()
     if bucket is None:
         raise ValueError("cannot coarsen at resolution NONE")
+    timestamps = np.asarray(timestamps)
+    if timestamps.size and int(timestamps.min()) < 0:
+        raise ValueError(
+            "negative (pre-epoch) timestamps are not supported; "
+            "shift the history to non-negative epoch seconds first"
+        )
     return (timestamps // bucket) * bucket
 
 

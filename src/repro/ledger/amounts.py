@@ -172,24 +172,43 @@ class Amount:
         return Amount(self.currency, scaled, self.exponent, self.issuer)
 
     def ratio(self, other: "Amount") -> float:
-        """``self / other`` as a float (same currency/issuer)."""
+        """``self / other`` as a float (same currency/issuer).
+
+        Computed as a *single* division of the exponent-aligned integer
+        mantissas, so the result is the correctly rounded quotient.
+        Routing through :meth:`to_float` first would round each operand to
+        float and then round the quotient again — three roundings whose
+        compounded error can flip the last bit.
+        """
         self._check_compatible(other)
         if other.is_zero:
             raise InvalidAmountError("division by zero amount")
-        return self.to_float() / other.to_float()
+        a, b = self._aligned(other)
+        return a / b
 
     def min(self, other: "Amount") -> "Amount":
+        """The smaller amount, decided by exact integer comparison.
+
+        Floats only carry 53 bits: two unequal amounts whose aligned
+        mantissas differ beyond that would compare equal through
+        :meth:`to_float`, making the float-based pick order-dependent.
+        """
         self._check_compatible(other)
-        return self if self.to_float() <= other.to_float() else other
+        a, b = self._aligned(other)
+        return self if a <= b else other
 
     # Comparison (same currency/issuer only) -----------------------------------
 
-    def _cmp_key(self, other: "Amount") -> Tuple[int, int]:
-        self._check_compatible(other)
+    def _aligned(self, other: "Amount") -> Tuple[int, int]:
+        """Both mantissas scaled to the smaller exponent (exact integers)."""
         e = min(self.exponent, other.exponent)
         a = self.mantissa * 10 ** (self.exponent - e)
         b = other.mantissa * 10 ** (other.exponent - e)
         return a, b
+
+    def _cmp_key(self, other: "Amount") -> Tuple[int, int]:
+        self._check_compatible(other)
+        return self._aligned(other)
 
     def __lt__(self, other: "Amount") -> bool:
         a, b = self._cmp_key(other)

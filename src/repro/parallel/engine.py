@@ -1,0 +1,214 @@
+"""The sharded execution engine: worker pool, retries, serial fallback.
+
+Execution model for an artifact with a :class:`ShardedCompute` contract:
+
+1. ``prepare(args)`` runs in the parent (dataset build, replay, …);
+2. ``shards(context, jobs)`` splits the context into contiguous shards;
+3. each shard is pickled to a worker process which applies
+   ``compute_shard`` and returns ``(partial, seconds, perf_snapshot)``;
+4. ``merge(partials, context)`` reduces in the parent, in shard order.
+
+Failure handling reuses the PR 2 retry policy: a shard whose worker
+raises — or whose pool dies underneath it — is resubmitted up to
+``RetryPolicy.max_retries`` times (the policy's simulated-seconds backoff
+is applied as real *milliseconds* here; resubmission needs spacing, not
+ledger-scale waits).  A shard that still fails is computed in the parent
+process, so a broken pool degrades to the serial path instead of losing
+the artifact.  ``REPRO_DISABLE_PARALLEL=1`` short-circuits everything to
+the serial ``compute``.
+
+Per-shard wall times are mirrored into :data:`repro.perf.PERF` as
+``parallel.<artifact>.shard`` timers; worker-side perf snapshots are
+absorbed into the parent registry when profiling is enabled, so
+``--profile fig3 --jobs 4`` still reports the familiar timer names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.node import RetryPolicy
+from repro.perf import PERF
+
+#: Environment kill switch: any non-empty value other than "0" forces serial.
+DISABLE_ENV = "REPRO_DISABLE_PARALLEL"
+
+#: Default bounded-resubmit policy for crashed/failed shards.  Backoff
+#: fields are read as milliseconds by :func:`map_shards`.
+SHARD_RETRY_POLICY = RetryPolicy(
+    max_retries=2, base_backoff=20.0, multiplier=2.0, max_backoff=200.0
+)
+
+
+def parallel_disabled() -> bool:
+    return os.environ.get(DISABLE_ENV, "") not in ("", "0")
+
+
+def effective_jobs(
+    args: Optional[argparse.Namespace] = None, jobs: Optional[int] = None
+) -> int:
+    """Worker count after applying the kill switch and flag defaults."""
+    if parallel_disabled():
+        return 1
+    if jobs is None:
+        jobs = getattr(args, "jobs", None)
+    if not jobs:
+        return 1
+    return max(1, int(jobs))
+
+
+def run_compute(artifact, args: argparse.Namespace) -> Any:
+    """Compute an artifact's payload, sharding when possible and asked.
+
+    The serial ``compute`` runs when the artifact has no sharded contract,
+    when fewer than two workers are requested, or when the kill switch is
+    set — those paths never touch multiprocessing at all.
+    """
+    jobs = effective_jobs(args)
+    sharded = artifact.sharded
+    if sharded is None or jobs <= 1:
+        return artifact.compute(args)
+    with PERF.timer(f"parallel.{artifact.name}.prepare"):
+        context = sharded.prepare(args)
+    shards = sharded.shards(context, jobs)
+    if not shards:
+        return artifact.compute(args)
+    if len(shards) == 1:
+        partials = [sharded.compute_shard(shards[0])]
+    else:
+        partials = map_shards(
+            artifact.name, sharded.compute_shard, shards, jobs
+        )
+    with PERF.timer(f"parallel.{artifact.name}.merge"):
+        return sharded.merge(partials, context)
+
+
+# Worker side ---------------------------------------------------------------
+
+
+def _call_shard(payload: Tuple[Callable[[Any], Any], Any, bool]):
+    """Apply one shard function; runs in the worker (or as the parent's
+    last-resort fallback).  Returns (partial, seconds, perf snapshot)."""
+    fn, shard, profile = payload
+    if profile:
+        # Forked workers inherit the parent's live registry; reset it so
+        # the snapshot covers exactly this shard's work and absorbing it
+        # never double-counts parent-side timers (spawn starts empty, so
+        # the reset makes both start methods report identically).
+        PERF.reset()
+        PERF.enable()
+    start = time.perf_counter()
+    partial = fn(shard)
+    elapsed = time.perf_counter() - start
+    snapshot = PERF.snapshot() if profile else None
+    return partial, elapsed, snapshot
+
+
+def _start_method() -> str:
+    """Fork when the platform has it (cheap), else spawn.
+
+    ``REPRO_MP_START`` overrides for debugging; shard functions are
+    module-level, so both start methods can unpickle them.
+    """
+    override = os.environ.get("REPRO_MP_START", "")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# Parent side ---------------------------------------------------------------
+
+
+def map_shards(
+    name: str,
+    fn: Callable[[Any], Any],
+    shards: Sequence[Any],
+    jobs: int,
+    policy: RetryPolicy = SHARD_RETRY_POLICY,
+) -> List[Any]:
+    """Run ``fn`` over every shard in a worker pool; partials in shard order.
+
+    Each failed shard is resubmitted up to ``policy.max_retries`` times
+    (fresh pool if the old one broke), then computed in the parent as the
+    final fallback — an exception surviving *that* is a real bug in ``fn``
+    and propagates.
+    """
+    if not shards:
+        return []
+    jobs = max(1, min(jobs, len(shards)))
+    profile = PERF.enabled
+    rng = np.random.default_rng(0)
+    context = multiprocessing.get_context(_start_method())
+    results: Dict[int, Any] = {}
+    pending = list(range(len(shards)))
+    attempts = [0] * len(shards)
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    try:
+        while pending:
+            futures = {}
+            broken = False
+            for index in pending:
+                try:
+                    future = executor.submit(
+                        _call_shard, (fn, shards[index], profile)
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                futures[future] = index
+            failed = [index for index in pending if index not in futures.values()]
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        partial, elapsed, snapshot = future.result()
+                    except Exception as exc:  # worker raise or pool death
+                        broken = broken or isinstance(exc, BrokenProcessPool)
+                        failed.append(index)
+                        continue
+                    results[index] = partial
+                    PERF.add_time(f"parallel.{name}.shard", elapsed)
+                    PERF.count(f"parallel.{name}.shards")
+                    if snapshot:
+                        PERF.absorb(snapshot)
+            pending = []
+            for index in sorted(failed):
+                attempts[index] += 1
+                if attempts[index] > policy.max_retries:
+                    # Graceful degradation: the parent computes the shard
+                    # itself — same function, same partial, just serial.
+                    PERF.count(f"parallel.{name}.serial_fallbacks")
+                    partial, elapsed, snapshot = _call_shard(
+                        (fn, shards[index], False)
+                    )
+                    results[index] = partial
+                    PERF.add_time(f"parallel.{name}.shard", elapsed)
+                else:
+                    PERF.count(f"parallel.{name}.resubmits")
+                    pending.append(index)
+            if pending:
+                # Policy backoff is defined in simulated seconds; spacing
+                # real resubmits wants milliseconds, not ledger-scale waits.
+                delay_ms = policy.backoff_seconds(
+                    max(attempts[index] for index in pending) - 1, rng
+                )
+                time.sleep(delay_ms / 1000.0)
+                if broken:
+                    executor.shutdown(wait=True, cancel_futures=True)
+                    executor = ProcessPoolExecutor(
+                        max_workers=jobs, mp_context=context
+                    )
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return [results[index] for index in range(len(shards))]

@@ -1,0 +1,31 @@
+"""Deterministic contiguous shard partitioning.
+
+A shard plan depends only on ``(n, n_shards)``: the first ``n % n_shards``
+shards take one extra record, so every partition is reproducible across
+runs, machines, and worker counts — the precondition for the engine's
+bit-for-bit guarantee (merges are order-independent, but identical shard
+boundaries make per-shard partials themselves reproducible artifacts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def shard_ranges(n: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, non-empty ``[start, stop)`` ranges covering ``range(n)``.
+
+    At most ``n_shards`` ranges are returned (fewer when ``n < n_shards``);
+    sizes differ by at most one record, larger shards first.
+    """
+    if n <= 0 or n_shards <= 0:
+        return []
+    n_shards = min(n_shards, n)
+    base, extra = divmod(n, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(n_shards):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges

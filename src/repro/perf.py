@@ -80,6 +80,25 @@ class PerfRegistry:
         finally:
             self.add_time(name, time.perf_counter() - start)
 
+    def absorb(self, snapshot: Dict[str, object]) -> None:
+        """Merge a :meth:`snapshot` from another process into this registry.
+
+        The parallel engine ships each worker's snapshot back with its
+        shard partial; absorbing them keeps ``--profile --jobs 4`` reports
+        shaped like the serial ones (counter sums, timer totals and call
+        counts accumulate across processes).
+        """
+        if not self.enabled or not isinstance(snapshot, dict):
+            return
+        for name, delta in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(delta)
+        for name, info in snapshot.get("timers", {}).items():
+            slot = self._timers.get(name)
+            if slot is None:
+                slot = self._timers[name] = [0.0, 0]
+            slot[0] += float(info["seconds"])
+            slot[1] += int(info["calls"])
+
     # Reporting --------------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:

@@ -1,0 +1,133 @@
+"""Boundary-value regression pins for the PR 3 numeric-correctness fixes.
+
+Amount coarsening used ``np.round`` (half-to-even), so amounts exactly on
+a bucket edge split inconsistently between buckets: 0.5 and 1.5 both
+rounded to even neighbours (0 and 2) while 2.5 joined 2.  These tests pin
+the explicit half-up rule on every path that buckets an amount — the
+scalar API, the vectorized fingerprint path, the currency-blind rescale,
+and the attacker-query observation — and the explicit rejection of
+pre-epoch timestamps.  They fail on the pre-fix code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.dataset import TransactionDataset
+from repro.core.deanonymizer import Deanonymizer
+from repro.core.resolution import (
+    AmountResolution,
+    FeatureList,
+    TimeResolution,
+    coarsen_timestamps,
+    granularity_exponent,
+    half_up,
+    round_amount,
+    round_amounts_vector,
+)
+from repro.errors import AnalysisError
+from repro.ledger.currency import BTC, EUR, USD, XRP
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import generate_history
+
+
+class TestHalfUpRounding:
+    def test_half_up_scalar_rule(self):
+        assert half_up(0.5) == 1.0
+        assert half_up(1.5) == 2.0
+        assert half_up(2.5) == 3.0
+        assert half_up(2.4999) == 2.0
+
+    def test_boundary_amounts_bucket_consistently(self):
+        # EUR max granularity is 10^1: 5, 15, 25 all sit on bucket edges.
+        # Banker's rounding sent 5 -> 0 and 25 -> 20 but 15 -> 20; half-up
+        # sends every edge amount to the upper bucket.
+        exponent = granularity_exponent(EUR, AmountResolution.MAX)
+        assert exponent == 1
+        assert round_amount(5.0, EUR, AmountResolution.MAX) == 10.0
+        assert round_amount(15.0, EUR, AmountResolution.MAX) == 20.0
+        assert round_amount(25.0, EUR, AmountResolution.MAX) == 30.0
+
+    def test_vector_path_matches_scalar_on_boundaries(self):
+        amounts = np.array([5.0, 15.0, 25.0, 35.0, 14.9])
+        exponents = np.full(5, granularity_exponent(EUR, AmountResolution.MAX))
+        buckets = round_amounts_vector(amounts, exponents, AmountResolution.MAX)
+        assert buckets.tolist() == [1, 2, 3, 4, 1]
+        for value, bucket in zip(amounts, buckets):
+            assert round_amount(value, EUR, AmountResolution.MAX) == pytest.approx(
+                bucket * 10.0
+            )
+
+    def test_sub_unit_granularity_boundaries(self):
+        # BTC max granularity is 10^-3; 0.0005 sits on the 0.000/0.001 edge.
+        assert round_amount(0.0005, BTC, AmountResolution.MAX) == pytest.approx(0.001)
+        assert round_amount(0.0015, BTC, AmountResolution.MAX) == pytest.approx(0.002)
+
+    def test_weak_currency_boundaries(self):
+        # XRP max granularity is 10^5: 50_000 is on the edge, 150_000 too.
+        assert round_amount(50_000.0, XRP, AmountResolution.MAX) == 100_000.0
+        assert round_amount(150_000.0, XRP, AmountResolution.MAX) == 200_000.0
+
+
+class TestTimestampContract:
+    def test_negative_timestamps_rejected(self):
+        with pytest.raises(ValueError, match="pre-epoch"):
+            coarsen_timestamps(np.array([60, -1, 120]), TimeResolution.MINUTES)
+
+    def test_non_negative_floor_bucketing_unchanged(self):
+        stamps = np.array([0, 59, 60, 61, 3599, 3600])
+        assert coarsen_timestamps(stamps, TimeResolution.MINUTES).tolist() == [
+            0, 0, 60, 60, 3540, 3600,
+        ]
+
+    def test_empty_input_passes_through(self):
+        out = coarsen_timestamps(np.empty(0, dtype=np.int64), TimeResolution.HOURS)
+        assert out.size == 0
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    history = generate_history(
+        EconomyConfig(seed=11, n_payments=600, n_users=40, n_offers=2400)
+    )
+    return TransactionDataset.from_records(history.records)
+
+
+class TestQueryPathConsistency:
+    def test_negative_observation_rejected(self, small_dataset):
+        deanon = Deanonymizer(small_dataset)
+        feature_list = FeatureList(
+            AmountResolution.NONE, TimeResolution.MINUTES, True, True
+        )
+        with pytest.raises(AnalysisError, match="pre-epoch"):
+            deanon.candidate_rows(
+                feature_list,
+                currency=small_dataset.currencies[0],
+                timestamp=-5,
+                destination=small_dataset.accounts[
+                    int(small_dataset.destination_ids[0])
+                ],
+            )
+
+    def test_boundary_observation_matches_its_own_payment(self, small_dataset):
+        # Every payment, observed at its exact recorded features, must fall
+        # in the same bucket the dataset side put it in — including rows
+        # whose amount sits exactly on a bucket edge.
+        deanon = Deanonymizer(small_dataset)
+        feature_list = FeatureList(
+            AmountResolution.LOW, TimeResolution.DAYS, True, True
+        )
+        for row in range(0, len(small_dataset), 97):
+            rows = deanon.candidate_rows(
+                feature_list,
+                amount=float(small_dataset.amounts[row]),
+                currency=small_dataset.currency_code(
+                    int(small_dataset.currency_ids[row])
+                ),
+                timestamp=int(small_dataset.timestamps[row]),
+                destination=small_dataset.accounts[
+                    int(small_dataset.destination_ids[row])
+                ],
+            )
+            assert row in rows

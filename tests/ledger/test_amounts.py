@@ -121,3 +121,55 @@ class TestOverflow:
 
     def test_underflow_becomes_zero(self):
         assert Amount(USD, 1, -200).is_zero
+
+
+class TestExactNumerics:
+    """Regression pins for the PR 3 precision fixes.
+
+    ``min`` and ``ratio`` used to route through ``to_float()``; the cases
+    here are chosen so the float detour gives a *different* answer than
+    exact integer arithmetic — they fail on the pre-fix code.
+    """
+
+    def test_ratio_is_correctly_rounded_single_division(self):
+        # to_float()/to_float() rounds three times; the exact aligned-int
+        # quotient differs in the last bit for this pair.
+        a = Amount(USD, 912381323017539, 9)
+        b = Amount(USD, 357564042624565, 0)
+        exact = (912381323017539 * 10 ** 9) / 357564042624565
+        assert a.ratio(b) == exact
+        assert a.to_float() / b.to_float() != exact
+
+    def test_ratio_more_double_rounding_cases(self):
+        for m1, e1, m2 in (
+            (294788211859887, 11, 717892751856593),
+            (982316779551687, 8, 933734492216487),
+            (985457430577449, 7, 472827266592590),
+        ):
+            a, b = Amount(USD, m1, e1), Amount(USD, m2, 0)
+            assert a.ratio(b) == (m1 * 10 ** e1) / m2
+
+    def test_min_never_consults_floats(self, monkeypatch):
+        # Exactness by construction: min must decide on aligned integer
+        # mantissas even when float conversion is unavailable.
+        a = Amount(USD, 999999999999999, 2)
+        b = Amount(USD, 999999999999998, 2)
+
+        def boom(self):  # pragma: no cover - called only on regression
+            raise AssertionError("min() routed through to_float()")
+
+        monkeypatch.setattr(Amount, "to_float", boom)
+        assert a.min(b) is b
+        assert b.min(a) is b
+
+    def test_min_of_adjacent_15_digit_mantissas(self):
+        # Aligned values differ by one unit in the 15th digit at a large
+        # exponent — far beyond 2^53 once scaled.
+        a = Amount(USD, 999999999999999, 40)
+        b = Amount(USD, 999999999999998, 40)
+        assert a.min(b) is b and not (a <= b)
+
+    def test_ordering_exact_across_exponents(self):
+        lo = Amount(USD, 100000000000000, 1)   # 1e15
+        hi = Amount(USD, 100000000000001, 1)   # 1e15 + 10
+        assert lo < hi and hi > lo and lo.min(hi) is lo

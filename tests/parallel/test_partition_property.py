@@ -1,0 +1,131 @@
+"""Property: ANY shard partition merges to the unsharded answer.
+
+The engine always cuts contiguous equal-ish shards, but the merge
+functions promise more — order-independent exactness for *every*
+partition of the record stream.  Hypothesis draws arbitrary cut points
+over the session dataset and checks the promise for Fig. 3 counts,
+Table II fractions, Fig. 5 survival curves, and the population stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.market_makers import (
+    ReplayResult,
+    merge_replay_results,
+    tally_outcomes,
+)
+from repro.analysis.population import (
+    merge_population_partials,
+    monthly_volume,
+    population_shard_partial,
+    population_stats,
+)
+from repro.analysis.survival import (
+    figure5_curves,
+    figure5_shard_partial,
+    merge_figure5_partials,
+)
+from repro.core.deanonymizer import (
+    Deanonymizer,
+    figure3_shard_partial,
+    merge_figure3_partials,
+)
+
+#: Up to 5 cut points anywhere in the 4k-row session dataset; duplicate
+#: and boundary cuts collapse, so partitions range from 1 to 6 shards of
+#: wildly uneven sizes — nothing like the engine's balanced plans.
+cuts = st.lists(st.integers(min_value=0, max_value=4_000), max_size=5)
+
+#: Settings for properties whose examples each chew through the full
+#: session dataset: few examples, no deadline, fixture reuse is intended.
+dataset_property = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _partition(dataset, cut_points):
+    bounds = sorted({0, len(dataset), *[
+        min(cut, len(dataset)) for cut in cut_points
+    ]})
+    return [
+        dataset.slice_rows(start, stop)
+        for start, stop in zip(bounds, bounds[1:])
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_answers(dataset):
+    return {
+        "fig3": Deanonymizer(dataset).figure3(),
+        "fig5": figure5_curves(dataset),
+        "population": (population_stats(dataset), monthly_volume(dataset)),
+    }
+
+
+@given(cut_points=cuts)
+@dataset_property
+def test_any_partition_reproduces_fig3(dataset, serial_answers, cut_points):
+    shards = _partition(dataset, cut_points)
+    merged = merge_figure3_partials(
+        [figure3_shard_partial(shard) for shard in shards]
+    )
+    assert merged == serial_answers["fig3"]
+
+
+@given(cut_points=cuts)
+@dataset_property
+def test_any_partition_reproduces_fig5(dataset, serial_answers, cut_points):
+    shards = _partition(dataset, cut_points)
+    merged = merge_figure5_partials(
+        [figure5_shard_partial(shard) for shard in shards]
+    )
+    serial = serial_answers["fig5"]
+    assert merged.keys() == serial.keys()
+    for label, curve in serial.items():
+        assert merged[label].samples == curve.samples
+        assert np.array_equal(  # bit-for-bit, not approximately
+            np.asarray(merged[label].values), np.asarray(curve.values)
+        )
+
+
+@given(cut_points=cuts)
+@dataset_property
+def test_any_partition_reproduces_population(
+    dataset, serial_answers, cut_points
+):
+    shards = _partition(dataset, cut_points)
+    stats, monthly = merge_population_partials(
+        [population_shard_partial(shard) for shard in shards]
+    )
+    serial_stats, serial_monthly = serial_answers["population"]
+    assert stats == serial_stats
+    assert monthly == serial_monthly
+
+
+@given(
+    outcomes=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=400),
+    cut_points=st.lists(st.integers(min_value=0, max_value=400), max_size=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_any_partition_reproduces_table2(outcomes, cut_points):
+    # Pure integer tallies: every partition of the outcome stream merges
+    # to the same Table II rows and delivery fractions.
+    bounds = sorted({0, len(outcomes), *[
+        min(cut, len(outcomes)) for cut in cut_points
+    ]})
+    merged = merge_replay_results([
+        tally_outcomes(outcomes[start:stop])
+        for start, stop in zip(bounds, bounds[1:])
+    ])
+    serial = tally_outcomes(outcomes)
+    assert isinstance(merged, ReplayResult)
+    for got, want in zip(merged.rows(), serial.rows()):
+        assert (got.submitted, got.delivered) == (want.submitted, want.delivered)
+        assert got.delivery_rate == want.delivery_rate
