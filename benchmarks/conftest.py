@@ -19,6 +19,8 @@ import pytest
 
 from repro import __version__
 from repro.analysis.dataset import TransactionDataset
+from repro.durability import atomic_write
+from repro.perf import PERF
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.generator import generate_history
 
@@ -43,8 +45,12 @@ def _cached_history(config: EconomyConfig):
 
     The key mixes the package version into the config repr: a release that
     changes generation semantics must not serve stale economies.  The cache
-    is best-effort — any unpicklable/corrupt entry falls back to a fresh
-    generation.
+    is best-effort — *any* load failure (truncated pickle raising
+    ``EOFError``/``UnpicklingError``, a stale class layout raising
+    ``AttributeError``, plain I/O errors) counts as a cold cache, is noted
+    in :data:`repro.perf.PERF`, and the entry is regenerated and rewritten
+    atomically (fsync + rename, so a killed bench run cannot poison the
+    next one).
     """
     if os.environ.get("REPRO_BENCH_CACHE", "1") in ("", "0"):
         return generate_history(config)
@@ -55,13 +61,15 @@ def _cached_history(config: EconomyConfig):
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except Exception:
-            os.remove(path)
+            PERF.count("bench.cache_corrupt")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
     history = generate_history(config)
     os.makedirs(CACHE_DIR, exist_ok=True)
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    with open(tmp_path, "wb") as handle:
+    with atomic_write(path, mode="wb") as handle:
         pickle.dump(history, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    os.replace(tmp_path, path)
     return history
 
 

@@ -13,6 +13,15 @@ The format is deliberately boring and stable:
     {"i": 17, "t": 472230405, "s": "rG9k...", "d": "r4HU...",
      "c": "USD", "a": 4.5, "x": false, "cc": false, "h": 1, "p": 1,
      "via": ["rPpS..."], "ok": true, "k": "fiat"}
+
+Durability contract (PR 4): writes are atomic (temp + fsync + rename) and
+sealed with a ``<path>.sha256`` sidecar manifest that reads verify first;
+reads run **strict** by default — any malformed line is a typed
+:class:`IngestError` carrying its 1-based line number — or **lenient**,
+where schema-rejected lines are diverted to a
+``<path>.quarantine.jsonl`` sidecar (reason attached) up to a bounded
+bad-line fraction.  Truncated gzip streams are reported distinctly from a
+file that was never gzip at all.
 """
 
 from __future__ import annotations
@@ -20,25 +29,40 @@ from __future__ import annotations
 import gzip
 import json
 import os
-from typing import IO, Iterable, Iterator, List, Sequence, Union
+from typing import IO, Iterator, List, Optional, Sequence
 
-from repro.errors import AnalysisError
+from repro.durability.atomic import atomic_write, verify_manifest
+from repro.durability.ingest import (
+    DEFAULT_MAX_BAD_FRACTION,
+    IngestStats,
+    QuarantineWriter,
+)
+from repro.errors import (
+    AnalysisError,
+    IngestError,
+    QuarantineOverflowError,
+    ReproError,
+)
 from repro.ledger.accounts import AccountID
 from repro.synthetic.records import TransactionRecord
 
 ARCHIVE_VERSION = 1
 
+#: Manifest format tag written by :func:`dump_archive`.
+ARCHIVE_FORMAT = f"repro-archive/{ARCHIVE_VERSION}"
 
-def _open_write(path: str) -> IO[str]:
-    if path.endswith(".gz"):
-        return gzip.open(path, "wt", encoding="utf-8")
-    return open(path, "w", encoding="utf-8")
+#: Ripple epoch is 2000-01-01; archive timestamps are seconds after it.
+_MIN_TIMESTAMP = 0
 
 
 def _open_read(path: str) -> IO[str]:
+    # errors="replace": a bit-flipped byte that breaks UTF-8 must surface
+    # as a failed JSON parse on that line (typed, quarantinable), not as a
+    # raw UnicodeDecodeError killing the stream.  Valid records are valid
+    # UTF-8, so replacement never touches data that could have decoded.
     if path.endswith(".gz"):
-        return gzip.open(path, "rt", encoding="utf-8")
-    return open(path, "r", encoding="utf-8")
+        return gzip.open(path, "rt", encoding="utf-8", errors="replace")
+    return open(path, "r", encoding="utf-8", errors="replace")
 
 
 def record_to_json(record: TransactionRecord) -> dict:
@@ -58,6 +82,64 @@ def record_to_json(record: TransactionRecord) -> dict:
         "ok": record.delivered,
         "k": record.kind,
     }
+
+
+#: field key -> (long name, required type check); the schema every line
+#: must satisfy before it is trusted by any analysis.
+_SCHEMA_FIELDS = {
+    "i": "index",
+    "t": "timestamp",
+    "s": "sender",
+    "d": "destination",
+    "c": "currency",
+    "a": "amount",
+    "x": "is_xrp_direct",
+    "cc": "cross_currency",
+    "h": "intermediate_hops",
+    "p": "parallel_paths",
+    "via": "intermediaries",
+    "ok": "delivered",
+    "k": "kind",
+}
+
+
+def validate_payload(payload: dict) -> Optional[str]:
+    """Schema-check one archive line; returns a rejection reason or None.
+
+    Checks field presence, parseable types, and domain ranges: amounts,
+    hop and path counts must be non-negative, the currency a 3-character
+    code, the timestamp post-epoch, and the via list a list of strings.
+    """
+    if not isinstance(payload, dict):
+        return "schema:not-an-object"
+    for key in _SCHEMA_FIELDS:
+        if key not in payload:
+            return f"schema:missing:{_SCHEMA_FIELDS[key]}"
+    try:
+        timestamp = int(payload["t"])
+        amount = float(payload["a"])
+        hops = int(payload["h"])
+        paths = int(payload["p"])
+        index = int(payload["i"])
+    except (TypeError, ValueError):
+        return "schema:type"
+    if timestamp < _MIN_TIMESTAMP:
+        return "schema:timestamp"
+    if not amount >= 0.0:  # also rejects NaN
+        return "schema:amount"
+    if hops < 0 or paths < 0 or index < 0:
+        return "schema:counts"
+    currency = payload["c"]
+    if not isinstance(currency, str) or len(currency) != 3:
+        return "schema:currency"
+    via = payload["via"]
+    if not isinstance(via, list) or not all(
+        isinstance(address, str) for address in via
+    ):
+        return "schema:via"
+    if not isinstance(payload["s"], str) or not isinstance(payload["d"], str):
+        return "schema:address"
+    return None
 
 
 def record_from_json(payload: dict) -> TransactionRecord:
@@ -85,51 +167,198 @@ def record_from_json(payload: dict) -> TransactionRecord:
 
 
 def dump_archive(
-    records: Sequence[TransactionRecord], path: str
+    records: Sequence[TransactionRecord], path: str, manifest: bool = True
 ) -> int:
-    """Write ``records`` to ``path`` (gzip when it ends in .gz).
+    """Write ``records`` to ``path`` (gzip when it ends in .gz), atomically.
 
     Returns the number of payments written.  The first line is a header
     carrying the format version and the record count, so a truncated
     download is detectable — the paper's client had the same problem at
-    500 GB scale.
+    500 GB scale.  The write is staged and renamed into place (a crash
+    never leaves a partial archive at ``path``) and, unless ``manifest``
+    is off, sealed with a ``<path>.sha256`` sidecar that reads verify.
+    Gzip members are written with a zeroed mtime, so identical records
+    always produce identical bytes.
     """
-    with _open_write(path) as handle:
-        handle.write(
-            json.dumps({"version": ARCHIVE_VERSION, "records": len(records)}) + "\n"
+    with atomic_write(path, mode="wb") as raw:
+        if path.endswith(".gz"):
+            stream = gzip.GzipFile(
+                filename="", mode="wb", fileobj=raw, mtime=0
+            )
+        else:
+            stream = raw
+
+        def emit(line: str) -> None:
+            stream.write(line.encode("utf-8"))
+
+        emit(
+            json.dumps({"version": ARCHIVE_VERSION, "records": len(records)})
+            + "\n"
         )
         for record in records:
-            handle.write(json.dumps(record_to_json(record)) + "\n")
+            emit(json.dumps(record_to_json(record)) + "\n")
+        if stream is not raw:
+            stream.close()
+    if manifest:
+        from repro.durability.atomic import write_manifest
+
+        write_manifest(path, records=len(records), fmt=ARCHIVE_FORMAT)
     return len(records)
 
 
-def iter_archive(path: str) -> Iterator[TransactionRecord]:
-    """Stream payments out of an archive (constant memory)."""
+def _gzip_error(path: str, exc: Exception, started: bool) -> AnalysisError:
+    """Classify a gzip failure: truncated stream vs not-gzip-at-all."""
+    if isinstance(exc, EOFError) or (started and isinstance(exc, gzip.BadGzipFile)):
+        return IngestError(
+            f"archive {path}: gzip stream truncated mid-member "
+            f"(incomplete download?): {exc}"
+        )
+    return AnalysisError(
+        f"archive {path}: not a valid gzip file (bad magic/header): {exc}"
+    )
+
+
+def iter_archive(
+    path: str,
+    strict: bool = True,
+    max_bad_fraction: float = DEFAULT_MAX_BAD_FRACTION,
+    quarantine_path: Optional[str] = None,
+    stats: Optional[IngestStats] = None,
+) -> Iterator[TransactionRecord]:
+    """Stream payments out of an archive (constant memory).
+
+    A ``<path>.sha256`` sidecar manifest, when present, is verified before
+    anything is parsed (:class:`~repro.errors.IntegrityError` on
+    mismatch).  In ``strict`` mode (default) the first malformed or
+    schema-invalid line raises :class:`IngestError` with its 1-based line
+    number.  In lenient mode bad lines are diverted — reason attached — to
+    ``quarantine_path`` (default ``<path>.quarantine.jsonl``) until their
+    fraction exceeds ``max_bad_fraction``, at which point the read aborts
+    with :class:`QuarantineOverflowError`.  Pass an :class:`IngestStats`
+    to receive read/quarantine tallies; they are also mirrored into
+    :data:`repro.perf.PERF` when profiling is on.
+    """
     if not os.path.exists(path):
         raise AnalysisError(f"archive not found: {path}")
-    with _open_read(path) as handle:
-        header_line = handle.readline()
+    verify_manifest(path)
+    stats = stats if stats is not None else IngestStats()
+    quarantine = (
+        None if strict else QuarantineWriter(path, path=quarantine_path)
+    )
+    gz = path.endswith(".gz")
+    try:
+        handle = _open_read(path)
+    except (OSError, EOFError) as exc:
+        if gz and isinstance(exc, (gzip.BadGzipFile, EOFError)):
+            raise _gzip_error(path, exc, started=False) from None
+        raise AnalysisError(f"cannot open archive {path}: {exc}") from None
+    try:
+        try:
+            header_line = handle.readline()
+        except (EOFError, gzip.BadGzipFile, OSError) as exc:
+            if gz:
+                raise _gzip_error(path, exc, started=False) from None
+            raise AnalysisError(f"unreadable archive {path}: {exc}") from None
         try:
             header = json.loads(header_line)
         except json.JSONDecodeError:
             raise AnalysisError("archive has no valid header line") from None
-        if header.get("version") != ARCHIVE_VERSION:
-            raise AnalysisError(
-                f"unsupported archive version {header.get('version')!r}"
-            )
+        if not isinstance(header, dict) or header.get("version") != ARCHIVE_VERSION:
+            version = header.get("version") if isinstance(header, dict) else header
+            raise AnalysisError(f"unsupported archive version {version!r}")
         expected = int(header.get("records", -1))
-        count = 0
-        for line in handle:
+        base_total = stats.total  # caller may pass a cumulative stats object
+        line_number = 1  # the header
+        lines = iter(handle)
+        while True:
+            try:
+                line = next(lines)
+            except StopIteration:
+                break
+            except (EOFError, gzip.BadGzipFile, OSError) as exc:
+                if gz and isinstance(exc, (EOFError, gzip.BadGzipFile)):
+                    raise _gzip_error(path, exc, started=True) from None
+                raise AnalysisError(f"unreadable archive {path}: {exc}") from None
+            line_number += 1
             if not line.strip():
                 continue
-            yield record_from_json(json.loads(line))
-            count += 1
-        if expected >= 0 and count != expected:
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise IngestError(
+                        f"archive {path} line {line_number}: invalid JSON: "
+                        f"{exc}",
+                        line_number=line_number,
+                    ) from None
+                stats.record_bad("parse")
+                quarantine.divert(line_number, "parse", str(exc), line)
+                _check_overflow(path, stats, max_bad_fraction, quarantine)
+                continue
+            reason = validate_payload(payload)
+            if reason is None:
+                try:
+                    record = record_from_json(payload)
+                except (ReproError, ValueError, TypeError) as exc:
+                    # e.g. InvalidAddressError from a bit-flipped address.
+                    reason = f"decode:{type(exc).__name__}: {exc}"
+            if reason is not None:
+                if strict:
+                    raise IngestError(
+                        f"archive {path} line {line_number}: {reason}",
+                        line_number=line_number,
+                    )
+                stats.record_bad(reason)
+                quarantine.divert(line_number, reason, reason, line)
+                _check_overflow(path, stats, max_bad_fraction, quarantine)
+                continue
+            stats.record_ok()
+            yield record
+        seen = stats.total - base_total
+        if expected >= 0 and seen != expected:
             raise AnalysisError(
-                f"archive truncated: header says {expected} records, read {count}"
+                f"archive truncated: header says {expected} records, "
+                f"read {seen}"
             )
+    finally:
+        handle.close()
+        if quarantine is not None:
+            quarantine.close()
+        stats.mirror_to_perf()
 
 
-def load_archive(path: str) -> List[TransactionRecord]:
+def _check_overflow(
+    path: str,
+    stats: IngestStats,
+    max_bad_fraction: float,
+    quarantine: QuarantineWriter,
+) -> None:
+    """Abort lenient ingest once the bad-line fraction exceeds the cap.
+
+    The cap only engages after a minimum sample (100 lines), so one bad
+    line at the top of a large file does not abort the whole read.
+    """
+    if stats.total >= 100 and stats.bad_fraction > max_bad_fraction:
+        quarantine.close()
+        raise QuarantineOverflowError(
+            f"archive {path}: {stats.quarantined}/{stats.total} lines "
+            f"({stats.bad_fraction:.1%}) failed validation — exceeds the "
+            f"{max_bad_fraction:.1%} tolerance; see {quarantine.path}"
+        )
+
+
+def load_archive(
+    path: str,
+    strict: bool = True,
+    max_bad_fraction: float = DEFAULT_MAX_BAD_FRACTION,
+    stats: Optional[IngestStats] = None,
+) -> List[TransactionRecord]:
     """Read a whole archive into memory."""
-    return list(iter_archive(path))
+    return list(
+        iter_archive(
+            path,
+            strict=strict,
+            max_bad_fraction=max_bad_fraction,
+            stats=stats,
+        )
+    )

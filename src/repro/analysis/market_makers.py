@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, LedgerError, PaymentError
 from repro.ledger.accounts import AccountID
 from repro.ledger.amounts import Amount
 from repro.ledger.currency import Currency
@@ -140,7 +140,7 @@ def replay_outcomes(
                     intent.receiver,
                     Amount.from_value(Currency(intent.currency), intent.amount),
                 )
-            except Exception:
+            except (LedgerError, PaymentError):
                 pass  # dropped deposits only make later payments harder
             continue
         send_max = None

@@ -10,6 +10,7 @@ packages.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Dict, List, Tuple
 
 from repro.analysis import (
@@ -22,6 +23,7 @@ from repro.analysis import (
     top_intermediaries,
 )
 from repro.analysis.archive import load_archive
+from repro.durability import IngestStats
 from repro.analysis.market_makers import (
     merge_replay_results,
     replay_outcomes,
@@ -74,9 +76,28 @@ def economy_config(args: argparse.Namespace) -> EconomyConfig:
 
 
 def dataset_for(args: argparse.Namespace):
-    """(history, dataset) for the shared flags; history is None for archives."""
+    """(history, dataset) for the shared flags; history is None for archives.
+
+    Archive ingest honours the shared durability flags: strict by default
+    (first bad line is a typed error), lenient with ``--quarantine``
+    (bad lines diverted to a ``<archive>.quarantine.jsonl`` sidecar, with
+    a summary on stderr).  ``--strict-ingest`` and ``--quarantine``
+    together are contradictory and rejected.
+    """
     if getattr(args, "archive", None):
-        records = load_archive(args.archive)
+        lenient = bool(getattr(args, "quarantine", False))
+        if lenient and getattr(args, "strict_ingest", False):
+            raise ArtifactError(
+                "--strict-ingest and --quarantine are mutually exclusive"
+            )
+        stats = IngestStats()
+        records = load_archive(args.archive, strict=not lenient, stats=stats)
+        if stats.quarantined:
+            print(
+                f"ingest: {stats.summary()} -> "
+                f"{args.archive}.quarantine.jsonl",
+                file=sys.stderr,
+            )
         return None, TransactionDataset.from_records(records)
     history = generate_history(economy_config(args))
     return history, TransactionDataset.from_records(history.records)

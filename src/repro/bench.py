@@ -71,13 +71,21 @@ def write_result(
     same ``kind`` with the same ``config`` — numbers from a different
     workload are not comparable and are discarded.
     """
+    from repro.durability import atomic_write
+    from repro.perf import PERF
+
     path = Path(path)
     baseline: Dict[str, float] = dict(current)
     if path.exists():
+        # A corrupt result file (truncated JSON, a crash mid-write before
+        # writes were atomic, …) is a cold cache, never a crash: the
+        # baseline restarts from the current numbers and the file is
+        # rewritten whole below.
         try:
             previous = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except Exception:
             previous = None
+            PERF.count("bench.result_corrupt")
         if (
             isinstance(previous, dict)
             and previous.get("kind") == kind
@@ -93,7 +101,8 @@ def write_result(
         "current": current,
         "speedup": _speedups(baseline, current),
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    with atomic_write(str(path)) as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
 

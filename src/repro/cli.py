@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import repro.chaos.report  # noqa: F401  (registers the 'chaos' artifact)
 from repro.api import ARTIFACTS, artifact, economy_config
+from repro.durability import atomic_write
 from repro.errors import AnalysisError
 from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
 from repro.chaos.plan import PLANS
@@ -44,12 +45,16 @@ def cmd_artifact(args: argparse.Namespace) -> int:
     """Dispatch any registered artifact: compute, render, print, maybe save."""
     try:
         text = artifact(args.command).run(args)
-    except AnalysisError as exc:  # ArtifactError included
+    except AnalysisError as exc:  # ArtifactError/IntegrityError included
         print(f"{args.command}: {exc}", file=sys.stderr)
         return 2
     print(text)
     if getattr(args, "out", None):
-        with open(args.out, "w", encoding="utf-8") as handle:
+        # Atomic + manifest-sealed: a crash mid-save never leaves a
+        # half-rendered figure where a complete one used to be.
+        with atomic_write(
+            args.out, manifest=True, fmt="repro-artifact/1"
+        ) as handle:
             handle.write(text + "\n")
         print(f"wrote {args.out}", file=sys.stderr)
     return 0
@@ -175,6 +180,20 @@ def _common_parent() -> argparse.ArgumentParser:
                              "(default 1 = serial; output is bit-identical "
                              "either way; REPRO_DISABLE_PARALLEL=1 forces "
                              "serial)")
+    parent.add_argument("--resume", action="store_true", default=False,
+                        help="checkpoint each completed shard under "
+                             "$REPRO_RESUME_DIR (default .repro-resume) and "
+                             "reload verified checkpoints on rerun — a "
+                             "killed --jobs N run recomputes only missing "
+                             "shards, bit-for-bit identical to a cold run")
+    parent.add_argument("--strict-ingest", action="store_true", default=False,
+                        help="fail on the first malformed archive line "
+                             "(the default; spelled out for scripts)")
+    parent.add_argument("--quarantine", action="store_true", default=False,
+                        help="lenient ingest: schema-validate each archive "
+                             "line, divert bad ones to "
+                             "<archive>.quarantine.jsonl with the reason, "
+                             "abort past a 1%% bad-line fraction")
     parent.add_argument("--profile", action="store_true",
                         default=argparse.SUPPRESS,
                         help="collect perf counters/timers and report on exit")

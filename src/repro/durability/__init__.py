@@ -1,0 +1,47 @@
+"""Crash-safe, corruption-tolerant storage primitives.
+
+The paper's pipeline starts from a 500 GB ad-hoc ledger download and three
+2-week validation-stream captures; at that scale truncated files, corrupt
+lines, and killed runs are the common case.  This package is the data
+plane's answer, threaded through ingest, artifact output, and the parallel
+engine:
+
+* :func:`atomic_write` — all-or-nothing file replacement (temp file in the
+  same directory, flush + fsync + ``os.replace``), optionally sealed with a
+  sidecar manifest;
+* :func:`write_manifest` / :func:`verify_manifest` — ``<path>.sha256``
+  sidecars carrying the content hash, byte size, record count, and format
+  tag, verified on read with a typed :class:`~repro.errors.IntegrityError`;
+* :class:`IngestStats` / :class:`QuarantineWriter` — the lenient-ingest
+  bookkeeping contract (read/quarantined counts and per-reason tallies,
+  mirrored into :data:`repro.perf.PERF`);
+* :class:`ResumeJournal` — per-shard checkpoints for ``--resume``:
+  completed shard partials survive a killed ``--jobs N`` run and are
+  reloaded (hash-verified) instead of recomputed.
+"""
+
+from repro.durability.atomic import (
+    MANIFEST_SUFFIX,
+    atomic_write,
+    manifest_path,
+    read_manifest,
+    verify_manifest,
+    write_manifest,
+)
+from repro.durability.ingest import IngestStats, QuarantineWriter
+from repro.durability.journal import ResumeJournal, resume_root
+from repro.errors import IntegrityError
+
+__all__ = [
+    "MANIFEST_SUFFIX",
+    "IngestStats",
+    "IntegrityError",
+    "QuarantineWriter",
+    "ResumeJournal",
+    "atomic_write",
+    "manifest_path",
+    "read_manifest",
+    "resume_root",
+    "verify_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,172 @@
+"""Atomic durable writes and sidecar manifests.
+
+The invariant: a reader never observes a half-written file at the target
+path.  ``atomic_write`` stages everything in a temp file *in the same
+directory* (``os.replace`` is only atomic within a filesystem), flushes and
+``fsync``\\ s it, then renames over the target in one step.  A crash — up to
+and including ``kill -9`` — leaves either the old file or the new file,
+never a hybrid; at worst a stale ``<name>.tmp.*`` sibling survives, and the
+next successful write for the same target sweeps those up.
+
+A sidecar manifest (``<path>.sha256``) extends the guarantee across
+*downloads and copies*: it records the content hash, byte size, record
+count, and a format tag, so :func:`verify_manifest` can prove the bytes on
+disk are the bytes that were written — the check the paper's 500 GB
+ad-hoc ledger download had to reinvent.
+"""
+
+from __future__ import annotations
+
+import glob
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+from repro.errors import IntegrityError
+
+#: Sidecar manifest suffix: ``ledger.jsonl.gz`` -> ``ledger.jsonl.gz.sha256``.
+MANIFEST_SUFFIX = ".sha256"
+
+#: Manifest schema tag; bump when the sidecar layout changes.
+MANIFEST_VERSION = 1
+
+
+def manifest_path(path: str) -> str:
+    return f"{path}{MANIFEST_SUFFIX}"
+
+
+def _sweep_stale_temps(path: str) -> None:
+    """Remove leftovers of crashed writes targeting ``path`` (best effort)."""
+    for stale in glob.glob(glob.escape(path) + ".tmp.*"):
+        try:
+            os.remove(stale)
+        except OSError:
+            pass
+
+
+@contextmanager
+def atomic_write(
+    path: str,
+    mode: str = "w",
+    encoding: Optional[str] = None,
+    manifest: bool = False,
+    records: Optional[int] = None,
+    fmt: Optional[str] = None,
+) -> Iterator[IO]:
+    """All-or-nothing write to ``path``; yields the staged file handle.
+
+    ``mode`` is ``"w"`` (text, utf-8 unless ``encoding`` overrides) or
+    ``"wb"``.  On a clean exit the staged bytes are fsynced and renamed
+    over ``path``; on any exception the temp file is removed and the
+    target is left exactly as it was.  With ``manifest=True`` a
+    ``<path>.sha256`` sidecar is written after the rename (itself
+    atomically), carrying the content hash plus the optional ``records``
+    count and ``fmt`` tag.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write mode must be 'w' or 'wb', not {mode!r}")
+    if mode == "w" and encoding is None:
+        encoding = "utf-8"
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    handle = open(tmp_path, mode, encoding=encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    handle.close()
+    os.replace(tmp_path, path)
+    _sweep_stale_temps(path)
+    if manifest:
+        write_manifest(path, records=records, fmt=fmt)
+
+
+def _hash_file(path: str) -> tuple:
+    """(sha256 hex digest, byte size) of the file at ``path``."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            digest.update(chunk)
+            size += len(chunk)
+    return digest.hexdigest(), size
+
+
+def write_manifest(
+    path: str, records: Optional[int] = None, fmt: Optional[str] = None
+) -> dict:
+    """Write the ``<path>.sha256`` sidecar for the current bytes on disk."""
+    sha256, size = _hash_file(path)
+    payload = {
+        "manifest_version": MANIFEST_VERSION,
+        "sha256": sha256,
+        "bytes": size,
+    }
+    if records is not None:
+        payload["records"] = int(records)
+    if fmt is not None:
+        payload["format"] = fmt
+    with atomic_write(manifest_path(path)) as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+    return payload
+
+
+def read_manifest(path: str) -> Optional[dict]:
+    """The parsed sidecar for ``path``, or None when there is none.
+
+    A sidecar that exists but cannot be parsed raises
+    :class:`IntegrityError` — an unreadable manifest means *something*
+    corrupted the pair, and silently skipping verification would defeat
+    its purpose.
+    """
+    sidecar = manifest_path(path)
+    if not os.path.exists(sidecar):
+        return None
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise IntegrityError(f"unreadable manifest {sidecar}: {exc}") from None
+    if not isinstance(payload, dict) or "sha256" not in payload:
+        raise IntegrityError(f"malformed manifest {sidecar}")
+    return payload
+
+
+def verify_manifest(path: str, required: bool = False) -> Optional[dict]:
+    """Check ``path`` against its sidecar manifest.
+
+    Returns the manifest dict on success, ``None`` when no sidecar exists
+    (unless ``required``).  Raises :class:`IntegrityError` when the hash
+    or byte size disagrees with the file — the bytes were truncated or
+    corrupted after they were sealed.
+    """
+    payload = read_manifest(path)
+    if payload is None:
+        if required:
+            raise IntegrityError(f"missing manifest for {path}")
+        return None
+    sha256, size = _hash_file(path)
+    expected_size = payload.get("bytes")
+    if expected_size is not None and int(expected_size) != size:
+        raise IntegrityError(
+            f"{path}: size {size} != manifest {expected_size} — file "
+            f"truncated or corrupted since write"
+        )
+    if sha256 != payload["sha256"]:
+        raise IntegrityError(
+            f"{path}: sha256 mismatch — file truncated or corrupted "
+            f"since write (expected {payload['sha256'][:16]}…, "
+            f"got {sha256[:16]}…)"
+        )
+    return payload

@@ -1,0 +1,113 @@
+"""Lenient-ingest bookkeeping: quarantine sidecars and summary stats.
+
+Strict ingest turns the first bad line into a typed error; lenient ingest
+keeps streaming, diverting each bad line — with the reason attached — to a
+``<archive>.quarantine.jsonl`` sidecar so the damage is inspectable and
+repairable after the run.  Tolerance is bounded: past a configurable
+bad-line fraction the stream aborts, because an archive that is mostly
+garbage should fail loudly, not produce a quietly wrong figure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.durability.atomic import atomic_write
+from repro.perf import PERF
+
+#: Default ceiling on the quarantined fraction of data lines.
+DEFAULT_MAX_BAD_FRACTION = 0.01
+
+#: Quarantine sidecar suffix: ``ledger.jsonl.gz.quarantine.jsonl``.
+QUARANTINE_SUFFIX = ".quarantine.jsonl"
+
+
+@dataclass
+class IngestStats:
+    """What one archive read actually saw.
+
+    ``read`` counts records successfully yielded, ``quarantined`` the data
+    lines diverted to the sidecar; ``reasons`` tallies quarantines by
+    machine-readable reason (``parse``, ``schema:<field>``, …).
+    """
+
+    read: int = 0
+    quarantined: int = 0
+    reasons: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.read + self.quarantined
+
+    @property
+    def bad_fraction(self) -> float:
+        return self.quarantined / self.total if self.total else 0.0
+
+    def record_ok(self) -> None:
+        self.read += 1
+
+    def record_bad(self, reason: str) -> None:
+        self.quarantined += 1
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+
+    def mirror_to_perf(self, name: str = "ingest") -> None:
+        """Accumulate this read's tallies into :data:`repro.perf.PERF`."""
+        PERF.count(f"{name}.records", self.read)
+        if self.quarantined:
+            PERF.count(f"{name}.quarantined", self.quarantined)
+            for reason, count in self.reasons.items():
+                PERF.count(f"{name}.quarantined.{reason}", count)
+
+    def summary(self) -> str:
+        parts = [f"read {self.read}", f"quarantined {self.quarantined}"]
+        if self.reasons:
+            detail = ", ".join(
+                f"{reason}={count}" for reason, count in sorted(self.reasons.items())
+            )
+            parts.append(f"({detail})")
+        return " ".join(parts)
+
+
+class QuarantineWriter:
+    """Collects bad lines and flushes them to the sidecar atomically.
+
+    Lines are buffered in memory and written once, on :meth:`close`, via
+    :func:`atomic_write` — a crash mid-run leaves either the previous
+    sidecar or the complete new one.  Each entry is one JSON object::
+
+        {"line": 17, "reason": "schema:amount", "error": "...", "raw": "..."}
+
+    When nothing was quarantined, a stale sidecar from an earlier run is
+    removed so its presence always means "this archive had bad lines".
+    """
+
+    def __init__(self, archive_path: str, path: Optional[str] = None):
+        self.path = path or f"{archive_path}{QUARANTINE_SUFFIX}"
+        self._entries: list = []
+
+    def divert(self, line_number: int, reason: str, error: str, raw: str) -> None:
+        self._entries.append(
+            {
+                "line": line_number,
+                "reason": reason,
+                "error": error,
+                "raw": raw.rstrip("\n")[:4096],
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if not self._entries:
+            try:
+                os.remove(self.path)
+            except OSError:
+                pass
+            return
+        with atomic_write(self.path) as handle:
+            for entry in self._entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")

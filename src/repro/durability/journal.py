@@ -1,0 +1,143 @@
+"""Shard-result checkpoints: a killed ``--jobs N`` run resumes, not restarts.
+
+Shard plans are deterministic (``repro.parallel.sharding``), so a shard's
+partial is a pure function of the run key — (artifact name, seed, scale,
+input fingerprint, shard plan).  The journal exploits that: every completed
+shard's partial is pickled to a run directory named by the key's hash, each
+entry sealed by an atomic write plus a sha256 sidecar.  A rerun with
+``--resume`` loads whatever verifies and recomputes only the missing or
+corrupt shards — bit-for-bit identical to a cold run, because nothing about
+the computation changed, only who executed it when.
+
+Layout, under ``$REPRO_RESUME_DIR`` (default ``.repro-resume``)::
+
+    <root>/<key-hash>/
+        meta.json            # the human-readable key, for debugging
+        shard-00003.pkl      # pickled partial of shard 3
+        shard-00003.pkl.sha256
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from typing import Any, List, Optional, Sequence
+
+from repro.durability.atomic import atomic_write, verify_manifest
+from repro.errors import IntegrityError
+from repro.perf import PERF
+
+#: Environment override for where resume journals live.
+RESUME_DIR_ENV = "REPRO_RESUME_DIR"
+
+DEFAULT_RESUME_DIR = ".repro-resume"
+
+
+def resume_root() -> str:
+    return os.environ.get(RESUME_DIR_ENV, "") or DEFAULT_RESUME_DIR
+
+
+def _shard_size(shard: Any) -> Optional[int]:
+    try:
+        return len(shard)
+    except TypeError:
+        return None
+
+
+def plan_fingerprint(shards: Sequence[Any]) -> str:
+    """A stable digest of the shard plan's shape (count + per-shard sizes).
+
+    Shard payloads themselves are not hashed — they can be large and are
+    already determined by (seed, scale, input, jobs); the shape is what
+    distinguishes one deterministic plan from another.
+    """
+    shape = [len(shards)] + [_shard_size(shard) for shard in shards]
+    return hashlib.sha256(json.dumps(shape).encode()).hexdigest()
+
+
+class ResumeJournal:
+    """One run directory of per-shard checkpoints, keyed by the run identity."""
+
+    def __init__(self, key: dict, root: Optional[str] = None):
+        self.key = dict(key)
+        digest = hashlib.sha256(
+            json.dumps(self.key, sort_keys=True).encode()
+        ).hexdigest()[:20]
+        self.directory = os.path.join(root or resume_root(), digest)
+
+    @classmethod
+    def for_run(
+        cls,
+        artifact: str,
+        shards: Sequence[Any],
+        seed: Optional[int] = None,
+        scale: Optional[int] = None,
+        payments: Optional[int] = None,
+        archive: Optional[str] = None,
+        root: Optional[str] = None,
+    ) -> "ResumeJournal":
+        key = {
+            "artifact": artifact,
+            "seed": seed,
+            "scale": scale,
+            "payments": payments,
+            "archive": os.path.abspath(archive) if archive else None,
+            "plan": plan_fingerprint(shards),
+        }
+        return cls(key, root=root)
+
+    # Paths ------------------------------------------------------------------
+
+    def _entry_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"shard-{index:05d}.pkl")
+
+    def _ensure_directory(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        meta = os.path.join(self.directory, "meta.json")
+        if not os.path.exists(meta):
+            with atomic_write(meta) as handle:
+                handle.write(json.dumps(self.key, indent=2, sort_keys=True) + "\n")
+
+    # Entries ----------------------------------------------------------------
+
+    def store(self, index: int, partial: Any) -> None:
+        """Checkpoint one shard partial (atomic pickle + sha256 sidecar)."""
+        self._ensure_directory()
+        with atomic_write(
+            self._entry_path(index), mode="wb", manifest=True,
+            fmt="repro-shard/1",
+        ) as handle:
+            pickle.dump(partial, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        PERF.count("resume.stored")
+
+    def load(self, index: int) -> Any:
+        """One verified shard partial, or None when absent/corrupt.
+
+        Any failure — missing entry, hash mismatch, unpicklable bytes —
+        degrades to ``None`` (recompute), never to an exception: a corrupt
+        checkpoint must cost a shard recompute, not the run.
+        """
+        path = self._entry_path(index)
+        if not os.path.exists(path):
+            return None
+        try:
+            verify_manifest(path, required=True)
+            with open(path, "rb") as handle:
+                partial = pickle.load(handle)
+        except (IntegrityError, OSError, EOFError, ValueError, AttributeError,
+                ImportError, pickle.UnpicklingError):
+            PERF.count("resume.corrupt")
+            for stale in (path, path + ".sha256"):
+                try:
+                    os.remove(stale)
+                except OSError:
+                    pass
+            return None
+        PERF.count("resume.loaded")
+        return partial
+
+    def load_all(self, n_shards: int) -> List[Any]:
+        """Verified partials for every shard index (None where missing)."""
+        return [self.load(index) for index in range(n_shards)]

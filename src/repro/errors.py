@@ -87,3 +87,30 @@ class SyntheticError(ReproError):
 
 class AnalysisError(ReproError):
     """Base class for analysis/dataset failures."""
+
+
+class IngestError(AnalysisError):
+    """An archive line failed parsing or schema validation on ingest.
+
+    Carries the 1-based line number of the offending record so a 500 GB
+    download can be repaired without bisecting it by hand.
+    """
+
+    def __init__(self, message: str, line_number: int = 0):
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class QuarantineOverflowError(IngestError):
+    """Lenient ingest aborted: too large a fraction of lines was bad."""
+
+
+class IntegrityError(AnalysisError):
+    """On-disk data failed checksum/manifest verification.
+
+    Raised when a sidecar manifest disagrees with the bytes actually on
+    disk — a truncated download, a bit flip, or a crash that outran the
+    write path.  (Subclasses :class:`AnalysisError` so existing boundary
+    handlers keep working; it is a :class:`ReproError` like everything
+    else.)
+    """

@@ -17,6 +17,20 @@ process, so a broken pool degrades to the serial path instead of losing
 the artifact.  ``REPRO_DISABLE_PARALLEL=1`` short-circuits everything to
 the serial ``compute``.
 
+Durability extensions (PR 4):
+
+* **Watchdog** — ``REPRO_SHARD_TIMEOUT`` (seconds) bounds each shard's
+  wall time in a worker.  A shard that overruns is treated as failed: its
+  worker pool is torn down (processes terminated), in-flight sibling
+  shards are resubmitted without an attempt penalty, and the overrunning
+  shard re-enters the normal retry → serial-fallback ladder.  A hung
+  worker therefore costs one pool rebuild, not the whole run.
+* **Checkpoint/resume** — pass a :class:`repro.durability.ResumeJournal`
+  and every completed shard partial is checkpointed (atomic pickle +
+  sha256); on a rerun, verified checkpoints are loaded and only
+  missing/corrupt shards recompute.  Shard plans are deterministic, so a
+  resumed run is bit-for-bit identical to a cold one.
+
 Per-shard wall times are mirrored into :data:`repro.perf.PERF` as
 ``parallel.<artifact>.shard`` timers; worker-side perf snapshots are
 absorbed into the parent registry when profiling is enabled, so
@@ -41,6 +55,9 @@ from repro.perf import PERF
 #: Environment kill switch: any non-empty value other than "0" forces serial.
 DISABLE_ENV = "REPRO_DISABLE_PARALLEL"
 
+#: Per-shard watchdog timeout in (real) seconds; unset/empty/0 disables.
+SHARD_TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
 #: Default bounded-resubmit policy for crashed/failed shards.  Backoff
 #: fields are read as milliseconds by :func:`map_shards`.
 SHARD_RETRY_POLICY = RetryPolicy(
@@ -50,6 +67,18 @@ SHARD_RETRY_POLICY = RetryPolicy(
 
 def parallel_disabled() -> bool:
     return os.environ.get(DISABLE_ENV, "") not in ("", "0")
+
+
+def shard_timeout() -> Optional[float]:
+    """The watchdog timeout from the environment, or None when disabled."""
+    raw = os.environ.get(SHARD_TIMEOUT_ENV, "")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def effective_jobs(
@@ -65,12 +94,30 @@ def effective_jobs(
     return max(1, int(jobs))
 
 
+def _journal_for(artifact_name: str, args: argparse.Namespace, shards):
+    """The resume journal for this run, when ``--resume`` asked for one."""
+    if not getattr(args, "resume", False):
+        return None
+    from repro.durability import ResumeJournal
+
+    return ResumeJournal.for_run(
+        artifact_name,
+        shards,
+        seed=getattr(args, "seed", None),
+        scale=getattr(args, "scale", None),
+        payments=getattr(args, "payments", None),
+        archive=getattr(args, "archive", None),
+    )
+
+
 def run_compute(artifact, args: argparse.Namespace) -> Any:
     """Compute an artifact's payload, sharding when possible and asked.
 
     The serial ``compute`` runs when the artifact has no sharded contract,
     when fewer than two workers are requested, or when the kill switch is
-    set — those paths never touch multiprocessing at all.
+    set — those paths never touch multiprocessing at all.  With
+    ``--resume`` the shard results are journaled under
+    ``$REPRO_RESUME_DIR`` and a rerun recomputes only what is missing.
     """
     jobs = effective_jobs(args)
     sharded = artifact.sharded
@@ -81,11 +128,13 @@ def run_compute(artifact, args: argparse.Namespace) -> Any:
     shards = sharded.shards(context, jobs)
     if not shards:
         return artifact.compute(args)
-    if len(shards) == 1:
+    journal = _journal_for(artifact.name, args, shards)
+    if len(shards) == 1 and journal is None:
         partials = [sharded.compute_shard(shards[0])]
     else:
         partials = map_shards(
-            artifact.name, sharded.compute_shard, shards, jobs
+            artifact.name, sharded.compute_shard, shards, jobs,
+            journal=journal,
         )
     with PERF.timer(f"parallel.{artifact.name}.merge"):
         return sharded.merge(partials, context)
@@ -128,34 +177,78 @@ def _start_method() -> str:
 # Parent side ---------------------------------------------------------------
 
 
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear down a pool that may contain hung workers, without blocking.
+
+    ``shutdown(wait=True)`` would join a worker that never returns; kill
+    the processes first (best effort — ``_processes`` is CPython's pool
+    bookkeeping), then reap them.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
 def map_shards(
     name: str,
     fn: Callable[[Any], Any],
     shards: Sequence[Any],
     jobs: int,
     policy: RetryPolicy = SHARD_RETRY_POLICY,
+    journal=None,
+    timeout: Optional[float] = None,
 ) -> List[Any]:
     """Run ``fn`` over every shard in a worker pool; partials in shard order.
 
     Each failed shard is resubmitted up to ``policy.max_retries`` times
     (fresh pool if the old one broke), then computed in the parent as the
     final fallback — an exception surviving *that* is a real bug in ``fn``
-    and propagates.
+    and propagates.  A shard exceeding ``timeout`` real seconds (default:
+    ``REPRO_SHARD_TIMEOUT``) counts as failed and enters the same ladder.
+
+    With a ``journal``, previously checkpointed partials are loaded
+    (hash-verified) instead of computed, and every fresh partial is
+    checkpointed the moment it arrives — a killed run resumes from its
+    last completed shard.
     """
     if not shards:
         return []
-    jobs = max(1, min(jobs, len(shards)))
+    if timeout is None:
+        timeout = shard_timeout()
     profile = PERF.enabled
     rng = np.random.default_rng(0)
-    context = multiprocessing.get_context(_start_method())
     results: Dict[int, Any] = {}
     pending = list(range(len(shards)))
+    if journal is not None:
+        for index in list(pending):
+            partial = journal.load(index)
+            if partial is not None:
+                results[index] = partial
+                pending.remove(index)
+                PERF.count(f"parallel.{name}.resumed")
+        if not pending:
+            return [results[index] for index in range(len(shards))]
+
+    def record(index: int, partial: Any, elapsed: float) -> None:
+        results[index] = partial
+        PERF.add_time(f"parallel.{name}.shard", elapsed)
+        if journal is not None:
+            journal.store(index, partial)
+
+    jobs = max(1, min(jobs, len(pending)))
     attempts = [0] * len(shards)
+    context = multiprocessing.get_context(_start_method())
     executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
     try:
         while pending:
             futures = {}
+            deadlines: Dict[Any, float] = {}
             broken = False
+            hung = False
             for index in pending:
                 try:
                     future = executor.submit(
@@ -165,10 +258,22 @@ def map_shards(
                     broken = True
                     break
                 futures[future] = index
+                if timeout is not None:
+                    deadlines[future] = time.monotonic() + timeout
             failed = [index for index in pending if index not in futures.values()]
+            victims: List[int] = []  # shards lost to a sibling's teardown
             remaining = set(futures)
             while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                if timeout is None:
+                    patience = None
+                else:
+                    patience = max(
+                        0.0,
+                        min(deadlines[f] for f in remaining) - time.monotonic(),
+                    )
+                done, remaining = wait(
+                    remaining, timeout=patience, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     index = futures[future]
                     try:
@@ -177,11 +282,32 @@ def map_shards(
                         broken = broken or isinstance(exc, BrokenProcessPool)
                         failed.append(index)
                         continue
-                    results[index] = partial
-                    PERF.add_time(f"parallel.{name}.shard", elapsed)
+                    record(index, partial, elapsed)
                     PERF.count(f"parallel.{name}.shards")
                     if snapshot:
                         PERF.absorb(snapshot)
+                if timeout is not None and remaining:
+                    now = time.monotonic()
+                    expired = [f for f in remaining if now >= deadlines[f]]
+                    if expired:
+                        # The overrunning shards failed; everything else
+                        # still in flight is a victim of the pool teardown
+                        # and is requeued without an attempt penalty.
+                        hung = True
+                        broken = True
+                        for future in expired:
+                            failed.append(futures[future])
+                            PERF.count(f"parallel.{name}.timeouts")
+                        victims = [
+                            futures[f] for f in remaining if f not in expired
+                        ]
+                        remaining = set()
+            if hung:
+                _terminate_pool(executor)
+                executor = ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=context
+                )
+                broken = False
             pending = []
             for index in sorted(failed):
                 attempts[index] += 1
@@ -192,8 +318,7 @@ def map_shards(
                     partial, elapsed, snapshot = _call_shard(
                         (fn, shards[index], False)
                     )
-                    results[index] = partial
-                    PERF.add_time(f"parallel.{name}.shard", elapsed)
+                    record(index, partial, elapsed)
                 else:
                     PERF.count(f"parallel.{name}.resubmits")
                     pending.append(index)
@@ -209,6 +334,7 @@ def map_shards(
                     executor = ProcessPoolExecutor(
                         max_workers=jobs, mp_context=context
                     )
+            pending.extend(victims)
     finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+        _terminate_pool(executor)
     return [results[index] for index in range(len(shards))]

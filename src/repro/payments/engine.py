@@ -29,6 +29,7 @@ from repro.errors import (
     PathDryError,
     PaymentError,
     TrustLineError,
+    UnknownAccountError,
 )
 from repro.ledger.accounts import AccountID
 from repro.ledger.amounts import DROPS_PER_XRP, Amount
@@ -197,9 +198,7 @@ class PaymentEngine:
         try:
             self.state.account(sender)
             self.state.account(receiver)
-        except PaymentError:
-            raise
-        except Exception as exc:  # UnknownAccountError
+        except UnknownAccountError as exc:
             result.error = str(exc)
             return result
 

@@ -1,0 +1,170 @@
+"""Atomic-write and manifest tests, including simulated crashes.
+
+The contract under test: a reader never sees a partial file at the target
+path, no matter when the writer dies — an exception mid-write, or a
+``kill -9``-equivalent hard exit with the temp file still open.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.durability import (
+    atomic_write,
+    manifest_path,
+    read_manifest,
+    verify_manifest,
+)
+from repro.errors import AnalysisError, IntegrityError, ReproError
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("hello\n")
+        assert open(path).read() == "hello\n"
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_writes_binary(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path, mode="wb") as handle:
+            handle.write(b"\x00\x01\x02")
+        assert open(path, "rb").read() == b"\x00\x01\x02"
+
+    def test_rejects_other_modes(self, tmp_path):
+        with pytest.raises(ValueError):
+            with atomic_write(str(tmp_path / "x"), mode="a"):
+                pass
+
+    def test_exception_leaves_original_untouched(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("original\n")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("writer died")
+        assert open(path).read() == "original\n"
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_exception_with_no_prior_file_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "fresh.txt")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("doomed")
+                raise RuntimeError("writer died")
+        assert not os.path.exists(path)
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_hard_kill_mid_write_never_corrupts_target(self, tmp_path):
+        """A process hard-exiting (the kill -9 case: no finally blocks,
+        no atexit) mid-``atomic_write`` must leave the original intact;
+        the stale temp is swept by the next successful write."""
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as handle:
+            handle.write("original\n")
+        script = (
+            "import os, sys\n"
+            "from repro.durability import atomic_write\n"
+            f"with atomic_write({path!r}) as handle:\n"
+            "    handle.write('partial garbage with no newline')\n"
+            "    handle.flush()\n"
+            "    os._exit(9)\n"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == 9
+        # Target untouched; the orphaned temp file is allowed to exist...
+        assert open(path).read() == "original\n"
+        # ...until the next successful write sweeps it.
+        with atomic_write(path) as handle:
+            handle.write("second\n")
+        assert open(path).read() == "second\n"
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path, manifest=True, records=3, fmt="test/1") as handle:
+            handle.write("a\nb\nc\n")
+        payload = verify_manifest(path, required=True)
+        assert payload["records"] == 3
+        assert payload["format"] == "test/1"
+        assert payload["bytes"] == 6
+
+    def test_missing_manifest_is_none_unless_required(self, tmp_path):
+        path = str(tmp_path / "bare.txt")
+        with atomic_write(path) as handle:
+            handle.write("x")
+        assert verify_manifest(path) is None
+        with pytest.raises(IntegrityError):
+            verify_manifest(path, required=True)
+
+    def test_tampered_file_detected(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path, manifest=True) as handle:
+            handle.write("payload\n")
+        with open(path, "w") as handle:  # non-atomic overwrite = tampering
+            handle.write("garbage\n")
+        with pytest.raises(IntegrityError, match="truncated or corrupted"):
+            verify_manifest(path)
+
+    def test_truncated_file_detected_by_size(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path, manifest=True) as handle:
+            handle.write("0123456789\n")
+        with open(path, "r+") as handle:
+            handle.truncate(4)
+        with pytest.raises(IntegrityError, match="size"):
+            verify_manifest(path)
+
+    def test_unreadable_manifest_is_an_error(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path) as handle:
+            handle.write("x")
+        with open(manifest_path(path), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(IntegrityError, match="manifest"):
+            read_manifest(path)
+
+    def test_wrong_hash_in_manifest(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path, manifest=True) as handle:
+            handle.write("payload\n")
+        payload = json.load(open(manifest_path(path)))
+        payload["sha256"] = "0" * 64
+        with open(manifest_path(path), "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(IntegrityError, match="sha256 mismatch"):
+            verify_manifest(path)
+
+    def test_integrity_error_is_a_repro_error(self):
+        assert issubclass(IntegrityError, ReproError)
+        assert issubclass(IntegrityError, AnalysisError)
+
+    def test_rewrite_refreshes_manifest(self, tmp_path):
+        path = str(tmp_path / "data.txt")
+        with atomic_write(path, manifest=True) as handle:
+            handle.write("one\n")
+        first = read_manifest(path)
+        with atomic_write(path, manifest=True) as handle:
+            handle.write("two two\n")
+        second = read_manifest(path)
+        assert first["sha256"] != second["sha256"]
+        verify_manifest(path, required=True)

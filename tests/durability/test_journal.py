@@ -1,0 +1,137 @@
+"""Resume-journal tests: checkpointing, corruption tolerance, resume runs.
+
+The shard functions live at module level so the worker pool can unpickle
+them by reference; the "was this computed or loaded?" question is answered
+with marker files, because workers are separate processes.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.durability import ResumeJournal
+from repro.durability.journal import plan_fingerprint
+from repro.node import RetryPolicy
+from repro.parallel.engine import map_shards
+
+FAST_POLICY = RetryPolicy(
+    max_retries=1, base_backoff=1.0, multiplier=1.0, max_backoff=1.0, jitter=0.0
+)
+
+
+def _square_with_marker(shard):
+    """Square a value, dropping a per-shard marker file as evidence."""
+    value, marker_dir = shard
+    with open(os.path.join(marker_dir, f"computed-{value}"), "w") as handle:
+        handle.write("1")
+    return value * value
+
+
+class TestPlanFingerprint:
+    def test_depends_on_shape(self):
+        assert plan_fingerprint([[1, 2], [3]]) == plan_fingerprint([[9, 9], [9]])
+        assert plan_fingerprint([[1, 2], [3]]) != plan_fingerprint([[1], [2, 3]])
+        assert plan_fingerprint([]) != plan_fingerprint([[1]])
+
+    def test_tolerates_unsized_shards(self):
+        assert plan_fingerprint([7, 8]) == plan_fingerprint([1, 2])
+
+
+class TestJournalEntries:
+    def test_store_load_roundtrip(self, tmp_path):
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path))
+        journal.store(3, {"partial": [1, 2, 3]})
+        assert journal.load(3) == {"partial": [1, 2, 3]}
+        assert journal.load(4) is None
+
+    def test_same_key_same_directory(self, tmp_path):
+        a = ResumeJournal({"artifact": "t", "seed": 1}, root=str(tmp_path))
+        b = ResumeJournal({"artifact": "t", "seed": 1}, root=str(tmp_path))
+        c = ResumeJournal({"artifact": "t", "seed": 2}, root=str(tmp_path))
+        assert a.directory == b.directory
+        assert a.directory != c.directory
+
+    def test_corrupt_entry_degrades_to_recompute(self, tmp_path):
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path))
+        journal.store(0, [1, 2, 3])
+        path = journal._entry_path(0)  # noqa: SLF001
+        with open(path, "ab") as handle:  # bit-rot: append garbage
+            handle.write(b"\xff\xff")
+        assert journal.load(0) is None  # and the bad entry is removed
+        assert not os.path.exists(path)
+
+    def test_unpicklable_entry_degrades_to_recompute(self, tmp_path):
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path))
+        journal.store(0, [1])
+        path = journal._entry_path(0)  # noqa: SLF001
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        # Rewrite the sidecar so only the pickle layer is corrupt.
+        from repro.durability import write_manifest
+
+        write_manifest(path)
+        assert journal.load(0) is None
+
+    def test_meta_json_documents_the_key(self, tmp_path):
+        journal = ResumeJournal({"artifact": "fig3", "seed": 7},
+                                root=str(tmp_path))
+        journal.store(0, "x")
+        meta = os.path.join(journal.directory, "meta.json")
+        assert os.path.exists(meta)
+        assert '"fig3"' in open(meta).read()
+
+
+class TestMapShardsResume:
+    def test_first_run_computes_then_resume_loads(self, tmp_path):
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        shards = [(v, marker_dir) for v in range(4)]
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path / "j"))
+
+        first = map_shards("t", _square_with_marker, shards, 2, FAST_POLICY,
+                           journal=journal)
+        assert first == [0, 1, 4, 9]
+        assert len(os.listdir(marker_dir)) == 4
+
+        for name in os.listdir(marker_dir):
+            os.remove(os.path.join(marker_dir, name))
+        second = map_shards("t", _square_with_marker, shards, 2, FAST_POLICY,
+                            journal=journal)
+        assert second == first
+        assert os.listdir(marker_dir) == []  # nothing recomputed
+
+    def test_partial_journal_recomputes_only_missing(self, tmp_path):
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        shards = [(v, marker_dir) for v in range(4)]
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path / "j"))
+        # Simulate a killed run that completed shards 0 and 2 only.
+        journal.store(0, 0)
+        journal.store(2, 4)
+
+        results = map_shards("t", _square_with_marker, shards, 2, FAST_POLICY,
+                             journal=journal)
+        assert results == [0, 1, 4, 9]
+        computed = sorted(os.listdir(marker_dir))
+        assert computed == ["computed-1", "computed-3"]
+
+    def test_corrupt_checkpoint_recomputes_that_shard(self, tmp_path):
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        shards = [(v, marker_dir) for v in range(3)]
+        journal = ResumeJournal({"artifact": "t"}, root=str(tmp_path / "j"))
+        map_shards("t", _square_with_marker, shards, 2, FAST_POLICY,
+                   journal=journal)
+        # Flip a byte in shard 1's checkpoint.
+        path = journal._entry_path(1)  # noqa: SLF001
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+        for name in os.listdir(marker_dir):
+            os.remove(os.path.join(marker_dir, name))
+        results = map_shards("t", _square_with_marker, shards, 2, FAST_POLICY,
+                             journal=journal)
+        assert results == [0, 1, 4]
+        assert sorted(os.listdir(marker_dir)) == ["computed-1"]

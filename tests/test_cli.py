@@ -1,5 +1,9 @@
 """Tests for the command-line interface."""
 
+import glob
+import json
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,6 +72,62 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "observed:" in out
         assert code in (0, 1)  # identified, or honestly ambiguous
+
+
+class TestDurabilityFlags:
+    def test_out_writes_manifest_sidecar(self, capsys, tmp_path):
+        out_path = str(tmp_path / "fig6.txt")
+        assert main(["fig6", *SMALL, "--out", out_path]) == 0
+        capsys.readouterr()
+        manifest = json.load(open(out_path + ".sha256"))
+        assert manifest["format"] == "repro-artifact/1"
+        assert manifest["bytes"] == os.path.getsize(out_path)
+
+    def test_resume_journals_and_reloads(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESUME_DIR", str(tmp_path / "resume"))
+        cold = main(["fig3", *SMALL, "--jobs", "1"])
+        cold_out = capsys.readouterr().out
+        assert cold == 0
+
+        assert main(["fig3", *SMALL, "--jobs", "2", "--resume"]) == 0
+        first_out = capsys.readouterr().out
+        checkpoints = glob.glob(
+            str(tmp_path / "resume" / "*" / "shard-*.pkl")
+        )
+        assert len(checkpoints) == 2  # one per shard, sealed on disk
+
+        assert main(["fig3", *SMALL, "--jobs", "2", "--resume"]) == 0
+        second_out = capsys.readouterr().out
+        # Resumed output is bit-for-bit the cold serial output.
+        assert first_out == cold_out
+        assert second_out == cold_out
+
+    def test_quarantine_flag_survives_bad_lines(self, capsys, tmp_path):
+        archive = str(tmp_path / "dump.jsonl")
+        assert main(["generate", *SMALL, "--out", archive]) == 0
+        capsys.readouterr()
+        lines = open(archive).readlines()
+        lines[40] = "garbage line\n"
+        with open(archive, "w") as handle:
+            handle.writelines(lines)
+        os.remove(archive + ".sha256")
+        # Strict (default): typed failure, exit code 2.
+        assert main(["fig4", "--archive", archive]) == 2
+        err = capsys.readouterr().err
+        assert "line 41" in err
+        # Lenient: quarantined, analysis proceeds.
+        assert main(["fig4", "--archive", archive, "--quarantine"]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined 1" in captured.err
+        assert os.path.exists(archive + ".quarantine.jsonl")
+
+    def test_strict_and_quarantine_conflict(self, capsys, tmp_path):
+        archive = str(tmp_path / "dump.jsonl")
+        assert main(["generate", *SMALL, "--out", archive]) == 0
+        capsys.readouterr()
+        assert main(["fig4", "--archive", archive, "--quarantine",
+                     "--strict-ingest"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
 
 class TestExtensionCommands:

@@ -1,0 +1,139 @@
+"""Seeded corruption fuzz for archive ingest — the CI durability gate.
+
+Generates a synthetic archive, then drives three deterministic corruption
+campaigns against copies of it:
+
+1. **byte flips** in the data-line region of the plain-JSONL dump —
+   lenient ingest must quarantine every damaged line and keep going;
+   strict ingest must fail with a typed ``ReproError`` (never a raw
+   ``json.JSONDecodeError``/``UnicodeDecodeError``);
+2. **gzip truncation** at several seeded cut points — strict ingest must
+   classify the damage (truncated stream / bad header / manifest
+   mismatch) as a typed error;
+3. **manifest tampering** — a modified file under an intact sidecar must
+   fail with ``IntegrityError`` before a single line is parsed.
+
+Exit code 0 means every campaign behaved; any unexpected exception type
+escapes and fails the job.  Everything is keyed off ``--seed``, so a CI
+failure reproduces locally with the same command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.analysis.archive import dump_archive, load_archive
+from repro.durability import IngestStats
+from repro.errors import IntegrityError, ReproError
+from repro.synthetic.config import EconomyConfig
+from repro.synthetic.generator import generate_history
+
+
+def _fresh_copy(source: str, workdir: str, name: str) -> str:
+    path = os.path.join(workdir, name)
+    shutil.copy(source, path)
+    sidecar = source + ".sha256"
+    if os.path.exists(sidecar):
+        shutil.copy(sidecar, path + ".sha256")
+    return path
+
+
+def fuzz_byte_flips(source: str, workdir: str, rng, rounds: int) -> None:
+    """Flip bytes in data lines; lenient must quarantine, strict must type."""
+    for round_index in range(rounds):
+        path = _fresh_copy(source, workdir, f"flip-{round_index}.jsonl")
+        blob = bytearray(open(path, "rb").read())
+        header_end = blob.index(b"\n") + 1
+        n_flips = int(rng.integers(1, 6))
+        for _ in range(n_flips):
+            offset = int(rng.integers(header_end, len(blob)))
+            if blob[offset] == 0x0A:  # keep line structure intact
+                continue
+            blob[offset] ^= int(rng.integers(1, 256))
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        os.remove(path + ".sha256")  # exercise line checks, not the manifest
+
+        stats = IngestStats()
+        try:
+            load_archive(path, strict=False, max_bad_fraction=1.0, stats=stats)
+        except ReproError:
+            # Overflow/truncation-by-count are legitimate typed outcomes.
+            pass
+        print(f"  flip round {round_index}: lenient {stats.summary()}")
+
+        try:
+            load_archive(path, strict=True)
+        except ReproError as exc:
+            if stats.quarantined:
+                print(f"  flip round {round_index}: strict -> "
+                      f"{type(exc).__name__}")
+        else:
+            assert stats.quarantined == 0, (
+                "strict ingest accepted an archive lenient ingest "
+                "quarantined lines from"
+            )
+
+
+def fuzz_gzip_truncation(source_gz: str, workdir: str, rng, rounds: int) -> None:
+    """Cut the gzip member at seeded points; strict must raise typed errors."""
+    blob = open(source_gz, "rb").read()
+    for round_index in range(rounds):
+        cut = int(rng.integers(1, len(blob)))
+        path = os.path.join(workdir, f"cut-{round_index}.jsonl.gz")
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        try:
+            load_archive(path, strict=True)
+        except ReproError as exc:
+            print(f"  gzip cut @{cut}: {type(exc).__name__}")
+        else:
+            raise AssertionError(f"truncation at {cut} bytes went undetected")
+
+
+def fuzz_manifest(source: str, workdir: str) -> None:
+    """A tampered file under an intact manifest must fail integrity first."""
+    path = _fresh_copy(source, workdir, "tampered.jsonl")
+    with open(path, "ab") as handle:
+        handle.write(b'{"i": 0}\n')
+    try:
+        load_archive(path)
+    except IntegrityError as exc:
+        print(f"  manifest: {type(exc).__name__}: {str(exc)[:60]}…")
+    else:
+        raise AssertionError("manifest verification missed tampering")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=20170652)
+    parser.add_argument("--payments", type=int, default=2000)
+    parser.add_argument("--rounds", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    history = generate_history(EconomyConfig(
+        seed=args.seed, n_payments=args.payments,
+        n_users=max(10, args.payments // 33), n_offers=args.payments * 4,
+    ))
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as workdir:
+        plain = os.path.join(workdir, "source.jsonl")
+        gz = os.path.join(workdir, "source.jsonl.gz")
+        dump_archive(history.records, plain)
+        dump_archive(history.records, gz)
+        print(f"fuzzing {len(history.records)} records, seed {args.seed}")
+        fuzz_byte_flips(plain, workdir, rng, args.rounds)
+        fuzz_gzip_truncation(gz, workdir, rng, args.rounds)
+        fuzz_manifest(plain, workdir)
+    print("corruption fuzz: all campaigns behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
