@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-node profile-fig3
+.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -19,3 +19,8 @@ bench-node:
 
 profile-fig3:
 	$(PYTHON) -m repro --profile fig3
+
+# fig3 with span tracing + run manifest, then schema-validate the manifest.
+trace-fig3:
+	$(PYTHON) -m repro artifact fig3 --out fig3.txt --trace
+	$(PYTHON) -m repro manifest fig3.txt.manifest.json

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import write_result
-from repro.analysis.report import render_figure2
+from repro.api import render_figure2
 from repro.analysis.validators import summarize
 from repro.core.robustness import RobustnessStudy, run_period
 from repro.stream.periods import PERIODS, period

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import write_result
-from repro.analysis.report import render_figure3
+from repro.api import render_figure3
 from repro.core.deanonymizer import Deanonymizer
 from repro.core.resolution import (
     FIGURE3_FEATURE_LISTS,

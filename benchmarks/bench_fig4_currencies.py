@@ -17,7 +17,7 @@ from repro.analysis.currencies import (
     share_of,
     unrecognized_in_top,
 )
-from repro.analysis.report import render_figure4
+from repro.api import render_figure4
 
 PAPER_SHARES = {"XRP": 0.49, "BTC": 0.047, "USD": 0.038, "CNY": 0.033, "JPY": 0.021, "EUR": 0.004}
 

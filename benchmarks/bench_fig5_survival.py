@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import write_result
-from repro.analysis.report import render_figure5
+from repro.api import render_figure5
 from repro.analysis.survival import curve_distance, figure5_curves
 
 SAMPLE_POINTS = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10, 1e12)

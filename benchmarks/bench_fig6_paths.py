@@ -12,7 +12,7 @@ import pytest
 
 from benchmarks.conftest import write_result
 from repro.analysis.paths import path_structure, spam_hop_attribution
-from repro.analysis.report import render_figure6
+from repro.api import render_figure6
 
 
 @pytest.fixture(scope="module")

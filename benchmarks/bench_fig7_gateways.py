@@ -17,7 +17,7 @@ from repro.analysis.gateways import (
     gateway_count_in_top,
     top_intermediaries,
 )
-from repro.analysis.report import render_figure7
+from repro.api import render_figure7
 
 
 @pytest.fixture(scope="module")

@@ -18,7 +18,7 @@ from repro.analysis.market_makers import (
     replay_without_market_makers,
     table2,
 )
-from repro.analysis.report import render_table2
+from repro.api import render_table2
 
 PAPER_ROWS = (
     ("Cross-currency", 1_185_521, 0, 0.0),

@@ -13,7 +13,7 @@ from repro.analysis import (
     offer_concentration,
     replay_without_market_makers,
 )
-from repro.analysis.report import render_table2
+from repro.api import render_table2
 from repro.synthetic import generate_history, small_config
 
 

@@ -236,7 +236,7 @@ def iter_archive(
     fraction exceeds ``max_bad_fraction``, at which point the read aborts
     with :class:`QuarantineOverflowError`.  Pass an :class:`IngestStats`
     to receive read/quarantine tallies; they are also mirrored into
-    :data:`repro.perf.PERF` when profiling is on.
+    :data:`repro.obs.metrics.METRICS` when profiling is on.
     """
     if not os.path.exists(path):
         raise AnalysisError(f"archive not found: {path}")
@@ -324,7 +324,7 @@ def iter_archive(
         handle.close()
         if quarantine is not None:
             quarantine.close()
-        stats.mirror_to_perf()
+        stats.mirror_to_metrics()
 
 
 def _check_overflow(

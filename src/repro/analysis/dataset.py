@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.ledger.accounts import AccountID
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.synthetic.records import TransactionRecord
 
 
@@ -65,7 +66,7 @@ class TransactionDataset:
         records: Sequence[TransactionRecord],
         delivered_only: bool = True,
     ) -> "TransactionDataset":
-        with PERF.timer("etl.from_records"):
+        with METRICS.timer("etl.from_records"), TRACER.span("etl.dataset"):
             return cls._from_records(records, delivered_only)
 
     @classmethod

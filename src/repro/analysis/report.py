@@ -2,12 +2,24 @@
 
 The renderers moved to :mod:`repro.api.render` when the artifact registry
 (:mod:`repro.api`) was introduced; import them from there.  This module
-re-exports the old names so existing callers keep working.
+re-exports the old names so existing callers keep working, but importing
+it warns — in-tree code and the shipped examples/benchmarks have all
+moved to :mod:`repro.api`, and CI runs with the warning escalated to an
+error for first-party modules.
 """
 
 from __future__ import annotations
 
-from repro.api.render import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.analysis.report is deprecated; import the renderers from "
+    "repro.api (repro.api.render) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.api.render import (  # noqa: E402,F401
     _bar,
     render_figure2,
     render_figure3,

@@ -11,6 +11,7 @@ from repro.api.registry import (
     ARTIFACTS,
     Artifact,
     ArtifactError,
+    ArtifactResult,
     ShardedCompute,
     artifact,
     names,
@@ -33,6 +34,7 @@ __all__ = [
     "ARTIFACTS",
     "Artifact",
     "ArtifactError",
+    "ArtifactResult",
     "ShardedCompute",
     "artifact",
     "dataset_for",

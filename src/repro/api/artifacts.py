@@ -1,8 +1,10 @@
 """Built-in artifacts: the paper's figures and tables, registered.
 
-Each artifact is a ``(compute, render)`` pair over parsed CLI arguments.
-Importing this module populates :data:`repro.api.registry.ARTIFACTS` with
-fig2–fig7 and table2; extension artifacts (e.g. the chaos report in
+Each artifact is a ``(compute, render)`` pair over parsed CLI arguments;
+``compute`` returns a typed :class:`~repro.api.registry.ArtifactResult`
+(``data`` plus optional manifest-bound ``metrics``).  Importing this
+module populates :data:`repro.api.registry.ARTIFACTS` with fig2–fig7 and
+table2; extension artifacts (e.g. the chaos report in
 :mod:`repro.chaos.report`) register themselves the same way from their own
 packages.
 """
@@ -11,7 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.analysis import (
     TransactionDataset,
@@ -39,7 +41,12 @@ from repro.analysis.survival import (
     figure5_shard_partial,
     merge_figure5_partials,
 )
-from repro.api.registry import ArtifactError, ShardedCompute, register
+from repro.api.registry import (
+    ArtifactError,
+    ArtifactResult,
+    ShardedCompute,
+    register,
+)
 from repro.api.render import (
     render_figure2,
     render_figure3,
@@ -56,6 +63,8 @@ from repro.core.deanonymizer import (
     merge_figure3_partials,
 )
 from repro.core.robustness import PeriodReport, run_period
+from repro.obs.manifest import RUN
+from repro.obs.trace import TRACER
 from repro.parallel.sharding import shard_ranges
 from repro.stream.periods import PERIODS, period
 from repro.synthetic.config import EconomyConfig
@@ -90,17 +99,22 @@ def dataset_for(args: argparse.Namespace):
             raise ArtifactError(
                 "--strict-ingest and --quarantine are mutually exclusive"
             )
-        stats = IngestStats()
-        records = load_archive(args.archive, strict=not lenient, stats=stats)
-        if stats.quarantined:
-            print(
-                f"ingest: {stats.summary()} -> "
-                f"{args.archive}.quarantine.jsonl",
-                file=sys.stderr,
+        with TRACER.span("artifact.dataset", kind="phase", source="archive"):
+            stats = IngestStats()
+            records = load_archive(
+                args.archive, strict=not lenient, stats=stats
             )
-        return None, TransactionDataset.from_records(records)
-    history = generate_history(economy_config(args))
-    return history, TransactionDataset.from_records(history.records)
+            if stats.quarantined:
+                print(
+                    f"ingest: {stats.summary()} -> "
+                    f"{args.archive}.quarantine.jsonl",
+                    file=sys.stderr,
+                )
+            RUN.note(ingest=stats.as_manifest_dict())
+            return None, TransactionDataset.from_records(records)
+    with TRACER.span("artifact.dataset", kind="phase", source="synthetic"):
+        history = generate_history(economy_config(args))
+        return history, TransactionDataset.from_records(history.records)
 
 
 def history_for(args: argparse.Namespace):
@@ -139,14 +153,21 @@ def _sequence_shards(items, n_shards: int) -> List:
 # fig2 ----------------------------------------------------------------------
 
 
-def _compute_fig2(args: argparse.Namespace) -> List[PeriodReport]:
+def _compute_fig2(args: argparse.Namespace) -> ArtifactResult:
     keys = [args.period] if getattr(args, "period", None) else [
         spec.key for spec in PERIODS
     ]
-    return [
+    reports = [
         run_period(period(key), scale=1.0 / args.scale, seed=args.seed)
         for key in keys
     ]
+    return ArtifactResult(
+        data=reports,
+        metrics={
+            "periods": len(reports),
+            "rounds_run": sum(report.rounds for report in reports),
+        },
+    )
 
 
 def _render_fig2(reports: List[PeriodReport], _args: argparse.Namespace) -> str:
@@ -164,10 +185,15 @@ register(
 # fig3 ----------------------------------------------------------------------
 
 
+def _compute_fig3(args: argparse.Namespace) -> ArtifactResult:
+    gains = Deanonymizer(dataset_for(args)[1]).figure3()
+    return ArtifactResult(data=gains, metrics={"feature_lists": len(gains)})
+
+
 register(
     "fig3",
     "information gain per feature list",
-    lambda args: Deanonymizer(dataset_for(args)[1]).figure3(),
+    _compute_fig3,
     lambda gains, args: render_figure3(gains),
     sharded=ShardedCompute(
         prepare=_dataset_context,
@@ -181,21 +207,33 @@ register(
 # fig4 ----------------------------------------------------------------------
 
 
+def _compute_fig4(args: argparse.Namespace) -> ArtifactResult:
+    ranking = currency_ranking(dataset_for(args)[1])
+    return ArtifactResult(data=ranking, metrics={"currencies": len(ranking)})
+
+
 register(
     "fig4",
     "most used currencies",
-    lambda args: currency_ranking(dataset_for(args)[1]),
-    lambda ranking, args: render_figure4(ranking, top=getattr(args, "top", 25)),
+    _compute_fig4,
+    lambda ranking, args: render_figure4(
+        ranking, top=getattr(args, "top", None) or 25
+    ),
 )
 
 
 # fig5 ----------------------------------------------------------------------
 
 
+def _compute_fig5(args: argparse.Namespace) -> ArtifactResult:
+    curves = figure5_curves(dataset_for(args)[1])
+    return ArtifactResult(data=curves, metrics={"curves": len(curves)})
+
+
 register(
     "fig5",
     "survival functions of payment amounts",
-    lambda args: figure5_curves(dataset_for(args)[1]),
+    _compute_fig5,
     lambda curves, args: render_figure5(curves, FIGURE5_POINTS),
     sharded=ShardedCompute(
         prepare=_dataset_context,
@@ -209,10 +247,14 @@ register(
 # fig6 ----------------------------------------------------------------------
 
 
+def _compute_fig6(args: argparse.Namespace) -> ArtifactResult:
+    return ArtifactResult(data=path_structure(dataset_for(args)[1]))
+
+
 register(
     "fig6",
     "payment path structure",
-    lambda args: path_structure(dataset_for(args)[1]),
+    _compute_fig6,
     lambda structure, args: render_figure6(structure),
 )
 
@@ -220,11 +262,14 @@ register(
 # fig7 ----------------------------------------------------------------------
 
 
-def _compute_fig7(args: argparse.Namespace) -> Tuple[list, Dict[str, float]]:
+def _compute_fig7(args: argparse.Namespace) -> ArtifactResult:
     history = history_for(args)
-    profiles = top_intermediaries(history, getattr(args, "top", 50))
+    profiles = top_intermediaries(history, getattr(args, "top", None) or 50)
     concentration = offer_concentration(history.offer_records)
-    return profiles, dict(concentration.shares)
+    return ArtifactResult(
+        data=(profiles, dict(concentration.shares)),
+        metrics={"intermediaries": len(profiles)},
+    )
 
 
 def _render_fig7(payload, _args: argparse.Namespace) -> str:
@@ -247,10 +292,14 @@ register(
 # table2 --------------------------------------------------------------------
 
 
+def _compute_table2(args: argparse.Namespace) -> ArtifactResult:
+    return ArtifactResult(data=table2(history_for(args)))
+
+
 register(
     "table2",
     "delivery without market makers",
-    lambda args: table2(history_for(args)),
+    _compute_table2,
     lambda result, args: render_table2(result),
     # The replay itself is stateful and runs serially in prepare; only the
     # outcome tally shards.  The contract still buys determinism coverage:
@@ -267,9 +316,12 @@ register(
 # population ----------------------------------------------------------------
 
 
-def _compute_population(args: argparse.Namespace):
+def _compute_population(args: argparse.Namespace) -> ArtifactResult:
     dataset = _dataset_context(args)
-    return population_stats(dataset), monthly_volume(dataset)
+    return ArtifactResult(
+        data=(population_stats(dataset), monthly_volume(dataset)),
+        metrics={"rows": len(dataset)},
+    )
 
 
 register(

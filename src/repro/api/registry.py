@@ -12,10 +12,11 @@ no new subcommand plumbing.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import AnalysisError
+from repro.obs.trace import TRACER
 
 Compute = Callable[[argparse.Namespace], Any]
 Render = Callable[[Any, argparse.Namespace], str]
@@ -23,6 +24,35 @@ Render = Callable[[Any, argparse.Namespace], str]
 
 class ArtifactError(AnalysisError):
     """An artifact cannot be computed with the given arguments."""
+
+
+@dataclass
+class ArtifactResult:
+    """The typed payload every artifact computation produces.
+
+    ``compute`` entries return one of these (or a bare value, which
+    :meth:`wrap` lifts) instead of ad-hoc dicts and tuples:
+
+    * ``data`` — the artifact's payload, whatever ``render`` consumes.
+    * ``metrics`` — artifact-specific scalar facts worth surfacing in the
+      run manifest (row counts, failure tallies); optional.
+    * ``manifest`` — extra annotations merged into the run manifest's
+      ``artifact_extra`` section; optional.
+    * ``output_paths`` — files the computation itself wrote (beyond the
+      CLI's ``--out``), so the manifest can hash them; optional.
+    """
+
+    data: Any
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    output_paths: List[str] = field(default_factory=list)
+
+    @classmethod
+    def wrap(cls, value: Any) -> "ArtifactResult":
+        """Lift a bare payload; already-typed results pass through."""
+        if isinstance(value, cls):
+            return value
+        return cls(data=value)
 
 
 @dataclass(frozen=True)
@@ -59,21 +89,32 @@ class Artifact:
     #: Optional map/reduce contract; ``compute`` stays the serial fallback.
     sharded: Optional[ShardedCompute] = None
 
-    def compute_payload(self, args: argparse.Namespace) -> Any:
-        """Compute the payload, sharding across workers when asked to.
+    def compute_payload(self, args: argparse.Namespace) -> "ArtifactResult":
+        """Compute the typed result, sharding across workers when asked to.
 
         Serial (``compute``) unless the artifact has a sharded contract
         *and* the parsed arguments request more than one worker; the
         execution engine itself falls back to serial when parallelism is
-        disabled via ``REPRO_DISABLE_PARALLEL=1``.
+        disabled via ``REPRO_DISABLE_PARALLEL=1``.  Sharded merges return
+        bare payloads; :meth:`ArtifactResult.wrap` lifts either form, so
+        callers always get an :class:`ArtifactResult`.
         """
         from repro.parallel.engine import run_compute
 
-        return run_compute(self, args)
+        with TRACER.span(f"{self.name}.compute", kind="phase"):
+            return ArtifactResult.wrap(run_compute(self, args))
+
+    def render_text(
+        self, result: "ArtifactResult", args: argparse.Namespace
+    ) -> str:
+        """Render a result for the terminal (accepts bare payloads too)."""
+        result = ArtifactResult.wrap(result)
+        with TRACER.span(f"{self.name}.render", kind="phase"):
+            return self.render(result.data, args)
 
     def run(self, args: argparse.Namespace) -> str:
         """Compute the payload and render it for the terminal."""
-        return self.render(self.compute_payload(args), args)
+        return self.render_text(self.compute_payload(args), args)
 
 
 #: name -> Artifact, in registration order (figures list order).

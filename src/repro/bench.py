@@ -72,7 +72,7 @@ def write_result(
     workload are not comparable and are discarded.
     """
     from repro.durability import atomic_write
-    from repro.perf import PERF
+    from repro.obs.metrics import METRICS
 
     path = Path(path)
     baseline: Dict[str, float] = dict(current)
@@ -85,7 +85,7 @@ def write_result(
             previous = json.loads(path.read_text())
         except Exception:
             previous = None
-            PERF.count("bench.result_corrupt")
+            METRICS.count("bench.result_corrupt")
         if (
             isinstance(previous, dict)
             and previous.get("kind") == kind

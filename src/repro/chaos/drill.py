@@ -28,7 +28,8 @@ from repro.ledger.currency import XRP
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import Payment
 from repro.node import RetryPolicy, RippledNode
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.stream.collector import StreamCollector
 from repro.stream.server import StreamServer
 
@@ -167,7 +168,8 @@ def run_drill(
 
     report = DrillReport(plan=plan, seed=seed, rounds=rounds)
     sequences: Dict[object, int] = {account: 0 for account in accounts}
-    with PERF.timer("chaos.drill"):
+    with METRICS.timer("chaos.drill"), \
+            TRACER.span("chaos.drill", plan=plan.name, rounds=rounds):
         for close_index in range(rounds):
             for offset in range(payments_per_close):
                 sender = accounts[(close_index + offset) % len(accounts)]

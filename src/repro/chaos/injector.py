@@ -5,7 +5,7 @@ consensus engine pulls per-round :class:`~repro.consensus.faults.RoundFaults`
 from it, the stream server asks it whether the collector's connection is up,
 and the node reports retries and degraded closes back to it.  All fault
 counters therefore land in one :class:`FaultCounters`, which the chaos
-report renders and which is mirrored into :data:`repro.perf.PERF` so
+report renders and which is mirrored into :data:`repro.obs.metrics.METRICS` so
 ``--profile`` runs expose degradation alongside the hot-path timers.
 """
 
@@ -16,7 +16,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.consensus.faults import RoundFaults
 from repro.chaos.plan import FaultPlan
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -125,4 +125,4 @@ class ChaosInjector:
     # Internals ----------------------------------------------------------------
 
     def _mirror(self, name: str, delta: int = 1) -> None:
-        PERF.count(name, delta)
+        METRICS.count(name, delta)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.api.registry import register
+from repro.api.registry import ArtifactResult, register
 from repro.chaos.drill import DrillReport, run_drill
 from repro.chaos.plan import PLANS
 
@@ -70,11 +70,20 @@ def render_chaos_report(report: DrillReport) -> str:
     return "\n".join(lines + ["", "Payments", payments])
 
 
-def _compute_chaos(args: argparse.Namespace) -> DrillReport:
-    return run_drill(
+def _compute_chaos(args: argparse.Namespace) -> ArtifactResult:
+    report = run_drill(
         getattr(args, "plan", "partition"),
         seed=args.seed,
-        rounds=getattr(args, "rounds", 240),
+        rounds=getattr(args, "rounds", None) or 240,
+    )
+    return ArtifactResult(
+        data=report,
+        metrics={
+            "closes_attempted": report.closes_attempted,
+            "validated_closes": report.validated_closes,
+            "degraded_closes": report.degraded_closes,
+            "failed_closes": report.failed_closes,
+        },
     )
 
 

@@ -9,19 +9,30 @@
     python -m repro chaos --plan partition --seed 3
     python -m repro generate --out ledger.jsonl.gz --payments 20000
     python -m repro attack --seed 3    # run one latte attack
+    python -m repro artifact fig3 --out fig3.txt --trace
+    python -m repro metrics --artifact fig3 --format prom
+    python -m repro manifest fig3.txt.manifest.json
 
 Artifact commands (``fig2``–``fig7``, ``table2``, ``chaos``) dispatch
 through the :data:`repro.api.ARTIFACTS` registry — the CLI has no
 per-artifact logic of its own.  Every subcommand shares one flag set
-(``--seed/--scale/--out/--profile`` plus ``--payments/--archive``) via a
-common parent parser.
+(``--seed/--scale/--out/--profile/--trace`` plus ``--payments/
+--archive``) via a common parent parser.
+
+Observability (:mod:`repro.obs`) hangs off two flags: ``--trace [PATH]``
+collects a structured span trace and enables the metrics registry, and
+any run that writes a file (``--out`` or ``--trace``) seals a
+``*.manifest.json`` run manifest next to it.  With both flags absent the
+artifact bytes are identical to a build without the observability layer.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import List, Optional
 
 import repro.chaos.report  # noqa: F401  (registers the 'chaos' artifact)
@@ -30,7 +41,17 @@ from repro.durability import atomic_write
 from repro.errors import AnalysisError
 from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
 from repro.chaos.plan import PLANS
-from repro.perf import PERF
+from repro.obs.manifest import (
+    RUN,
+    build_manifest,
+    deterministic_view,
+    manifest_destination,
+    output_entry,
+    validate_manifest,
+    write_run_manifest,
+)
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.stream.periods import PERIODS
 from repro.synthetic.generator import generate_history
 
@@ -41,22 +62,122 @@ def cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_artifact(args: argparse.Namespace) -> int:
-    """Dispatch any registered artifact: compute, render, print, maybe save."""
-    try:
-        text = artifact(args.command).run(args)
-    except AnalysisError as exc:  # ArtifactError/IntegrityError included
-        print(f"{args.command}: {exc}", file=sys.stderr)
-        return 2
-    print(text)
+def _trace_destination(args: argparse.Namespace, name: str) -> Optional[str]:
+    """Where ``--trace`` goes: explicit path, or derived from ``--out``."""
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        return None
+    if trace != "auto":
+        return trace
     if getattr(args, "out", None):
-        # Atomic + manifest-sealed: a crash mid-save never leaves a
-        # half-rendered figure where a complete one used to be.
-        with atomic_write(
-            args.out, manifest=True, fmt="repro-artifact/1"
-        ) as handle:
-            handle.write(text + "\n")
-        print(f"wrote {args.out}", file=sys.stderr)
+        return f"{args.out}.trace.jsonl"
+    return f"{name}.trace.jsonl"
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """Dispatch any registered artifact: compute, render, print, maybe save.
+
+    A run that writes anything (``--out`` and/or ``--trace``) is sealed
+    with a run manifest — ``<out>.manifest.json`` (anchored on the trace
+    path when there is no ``--out``) recording the invocation, the
+    deterministic phase-span rollup, ingest/degradation events, and the
+    sha256 of every output.
+    """
+    name = getattr(args, "name", None) or args.command
+    trace_path = _trace_destination(args, name)
+    out_path = getattr(args, "out", None)
+    observing = bool(trace_path or out_path)
+    # Restore the prior enablement on exit: main() is re-entrant (tests,
+    # embedding), so one --trace run must not leave the process-wide
+    # registries hot for the next caller.
+    tracer_was_enabled = TRACER.enabled
+    metrics_were_enabled = METRICS.enabled
+    if observing:
+        RUN.reset()
+        TRACER.reset()
+        TRACER.enable()
+    if trace_path:
+        METRICS.enable()
+    try:
+        started_at = time.time()
+        t0 = time.perf_counter()
+        try:
+            entry = artifact(name)
+            result = entry.compute_payload(args)
+            text = entry.render_text(result, args)
+        except AnalysisError as exc:  # ArtifactError/IntegrityError included
+            print(f"{name}: {exc}", file=sys.stderr)
+            return 2
+        duration = time.perf_counter() - t0
+        print(text)
+        outputs = []
+        if out_path:
+            # Atomic + manifest-sealed: a crash mid-save never leaves a
+            # half-rendered figure where a complete one used to be.
+            with atomic_write(
+                out_path, manifest=True, fmt="repro-artifact/1"
+            ) as handle:
+                handle.write(text + "\n")
+            print(f"wrote {out_path}", file=sys.stderr)
+            outputs.append(output_entry(out_path, kind="artifact"))
+        for extra in result.output_paths:
+            if os.path.exists(extra):
+                outputs.append(output_entry(extra, kind="aux"))
+        if trace_path:
+            spans = TRACER.write(trace_path)
+            print(f"wrote {trace_path} ({spans} spans)", file=sys.stderr)
+            outputs.append(
+                output_entry(trace_path, kind="trace", volatile=True)
+            )
+        if observing:
+            payload = build_manifest(
+                name, args, text, outputs, started_at, duration, result=result
+            )
+            destination = manifest_destination(out_path or trace_path)
+            write_run_manifest(destination, payload)
+            print(f"wrote {destination}", file=sys.stderr)
+        return 0
+    finally:
+        TRACER.enabled = tracer_was_enabled
+        METRICS.enabled = metrics_were_enabled
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Expose the metrics registry, optionally after computing an artifact."""
+    METRICS.enable()
+    name = getattr(args, "artifact", None)
+    if name:
+        try:
+            artifact(name).compute_payload(args)
+        except AnalysisError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        print(METRICS.to_json())
+    else:
+        print(METRICS.to_prom(), end="")
+    return 0
+
+
+def cmd_manifest(args: argparse.Namespace) -> int:
+    """Validate a run manifest against the shipped schema."""
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"manifest: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_manifest(payload)
+    if errors:
+        for error in errors:
+            print(f"manifest: {error}", file=sys.stderr)
+        return 1
+    if getattr(args, "deterministic", False):
+        print(json.dumps(deterministic_view(payload), indent=2, sort_keys=True))
+    else:
+        print(f"{args.path}: valid "
+              f"(manifest_version {payload['manifest_version']}, "
+              f"artifact {payload['artifact']})")
     return 0
 
 
@@ -197,6 +318,11 @@ def _common_parent() -> argparse.ArgumentParser:
     parent.add_argument("--profile", action="store_true",
                         default=argparse.SUPPRESS,
                         help="collect perf counters/timers and report on exit")
+    parent.add_argument("--trace", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="write a structured span trace (JSONL) and "
+                             "enable metrics; without PATH the trace lands "
+                             "next to --out (or ./<artifact>.trace.jsonl)")
     return parent
 
 
@@ -270,20 +396,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.set_defaults(func=cmd_bench_smoke)
 
+    sub = subparsers.add_parser(
+        "artifact", parents=[parent],
+        help="run any registered artifact by name (scripting/CI form)",
+    )
+    sub.add_argument("name", help="registered artifact name (see 'figures')")
+    sub.set_defaults(func=cmd_artifact)
+
+    sub = subparsers.add_parser(
+        "metrics", parents=[parent],
+        help="print the metrics exposition (optionally after an artifact)",
+    )
+    sub.add_argument("--artifact", default=None, metavar="NAME",
+                     help="compute this artifact first, then expose")
+    sub.add_argument("--format", choices=("prom", "json"), default="prom",
+                     help="exposition format (default prom)")
+    sub.set_defaults(func=cmd_metrics)
+
+    sub = subparsers.add_parser(
+        "manifest", parents=[parent],
+        help="validate a run manifest against the shipped schema",
+    )
+    sub.add_argument("path", help="path to a *.manifest.json file")
+    sub.add_argument("--deterministic", action="store_true", default=False,
+                     help="print the strategy-independent view instead "
+                          "(serial and --jobs N runs must agree on it)")
+    sub.set_defaults(func=cmd_manifest)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "profile", False):
-        PERF.enable()
+    # The human-readable counter report prints only when profiling was
+    # asked for (flag or env) — --trace also enables the registry, but
+    # its consumers are the manifest and the 'metrics' exposition.
+    profiling = (
+        getattr(args, "profile", False)
+        or os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+    )
+    if profiling:
+        METRICS.enable()
     try:
         return args.func(args)
     finally:
-        # Report whether profiling came from --profile or REPRO_PROFILE=1.
-        if PERF.enabled:
-            print(PERF.report(), file=sys.stderr)
+        if profiling and METRICS.enabled:
+            print(METRICS.report(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

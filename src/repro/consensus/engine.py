@@ -26,6 +26,8 @@ from repro.consensus.rounds import (
 from repro.consensus.unl import UNL
 from repro.consensus.validator import Validator
 from repro.errors import ConsensusError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 #: Seconds between ledger closes (the paper: payments settle in 5–10 s).
 CLOSE_INTERVAL_SECONDS = 5
@@ -144,6 +146,20 @@ class ConsensusEngine:
         tx_supplier: TxSupplier = default_tx_supplier,
     ) -> ConsensusReport:
         """Run ``num_rounds`` consensus rounds and return the report."""
+        with TRACER.span(
+            "consensus.run", rounds=num_rounds, sequence=self.sequence
+        ):
+            report = self._run(num_rounds, tx_supplier)
+        if METRICS.enabled:
+            METRICS.count("consensus.rounds", report.rounds_run)
+            METRICS.count("consensus.validated", report.rounds_validated)
+        return report
+
+    def _run(
+        self,
+        num_rounds: int,
+        tx_supplier: TxSupplier = default_tx_supplier,
+    ) -> ConsensusReport:
         report = ConsensusReport()
         for validator in self.validators:
             report.stats[validator.name] = ValidatorStats(

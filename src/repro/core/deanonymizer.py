@@ -32,7 +32,7 @@ from repro.core.resolution import (
 )
 from repro.errors import AnalysisError
 from repro.ledger.accounts import AccountID
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ def figure3_shard_partial(
     feature_lists: Sequence[FeatureList] = FIGURE3_FEATURE_LISTS,
 ) -> Figure3Partial:
     """Map step of the sharded Fig. 3 (runs inside a worker process)."""
-    with PERF.timer("deanon.figure3_shard"):
+    with METRICS.timer("deanon.figure3_shard"):
         cache = FeatureColumnCache(dataset)
         per_list = []
         for feature_list in feature_lists:
@@ -152,7 +152,7 @@ class Deanonymizer:
         still identifies the sender when all of them come from one account
         (spam campaigns make this mode substantially more powerful).
         """
-        with PERF.timer("deanon.information_gain"):
+        with METRICS.timer("deanon.information_gain"):
             fingerprints = self._fingerprints(feature_list)
             if strict:
                 mask = unique_fingerprint_mask(fingerprints)

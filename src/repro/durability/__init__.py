@@ -14,7 +14,7 @@ engine:
   tag, verified on read with a typed :class:`~repro.errors.IntegrityError`;
 * :class:`IngestStats` / :class:`QuarantineWriter` — the lenient-ingest
   bookkeeping contract (read/quarantined counts and per-reason tallies,
-  mirrored into :data:`repro.perf.PERF`);
+  mirrored into :data:`repro.obs.metrics.METRICS`);
 * :class:`ResumeJournal` — per-shard checkpoints for ``--resume``:
   completed shard partials survive a killed ``--jobs N`` run and are
   reloaded (hash-verified) instead of recomputed.

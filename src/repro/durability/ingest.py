@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.durability.atomic import atomic_write
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 
 #: Default ceiling on the quarantined fraction of data lines.
 DEFAULT_MAX_BAD_FRACTION = 0.01
@@ -53,13 +54,31 @@ class IngestStats:
         self.quarantined += 1
         self.reasons[reason] = self.reasons.get(reason, 0) + 1
 
-    def mirror_to_perf(self, name: str = "ingest") -> None:
-        """Accumulate this read's tallies into :data:`repro.perf.PERF`."""
-        PERF.count(f"{name}.records", self.read)
+    def mirror_to_metrics(self, name: str = "ingest") -> None:
+        """Accumulate this read's tallies into :data:`repro.obs.metrics.METRICS`."""
+        METRICS.count(f"{name}.records", self.read)
         if self.quarantined:
-            PERF.count(f"{name}.quarantined", self.quarantined)
+            METRICS.count(f"{name}.quarantined", self.quarantined)
             for reason, count in self.reasons.items():
-                PERF.count(f"{name}.quarantined.{reason}", count)
+                METRICS.count(f"{name}.quarantined.{reason}", count)
+
+    def mirror_to_perf(self, name: str = "ingest") -> None:
+        """Deprecated alias for :meth:`mirror_to_metrics`."""
+        warnings.warn(
+            "IngestStats.mirror_to_perf is deprecated; "
+            "use mirror_to_metrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.mirror_to_metrics(name)
+
+    def as_manifest_dict(self) -> Dict[str, object]:
+        """The run-manifest ``ingest`` section for this read."""
+        return {
+            "read": self.read,
+            "quarantined": self.quarantined,
+            "reasons": dict(sorted(self.reasons.items())),
+        }
 
     def summary(self) -> str:
         parts = [f"read {self.read}", f"quarantined {self.quarantined}"]

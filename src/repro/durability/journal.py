@@ -27,7 +27,7 @@ from typing import Any, List, Optional, Sequence
 
 from repro.durability.atomic import atomic_write, verify_manifest
 from repro.errors import IntegrityError
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 
 #: Environment override for where resume journals live.
 RESUME_DIR_ENV = "REPRO_RESUME_DIR"
@@ -110,7 +110,7 @@ class ResumeJournal:
             fmt="repro-shard/1",
         ) as handle:
             pickle.dump(partial, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        PERF.count("resume.stored")
+        METRICS.count("resume.stored")
 
     def load(self, index: int) -> Any:
         """One verified shard partial, or None when absent/corrupt.
@@ -128,14 +128,14 @@ class ResumeJournal:
                 partial = pickle.load(handle)
         except (IntegrityError, OSError, EOFError, ValueError, AttributeError,
                 ImportError, pickle.UnpicklingError):
-            PERF.count("resume.corrupt")
+            METRICS.count("resume.corrupt")
             for stale in (path, path + ".sha256"):
                 try:
                     os.remove(stale)
                 except OSError:
                     pass
             return None
-        PERF.count("resume.loaded")
+        METRICS.count("resume.loaded")
         return partial
 
     def load_all(self, n_shards: int) -> List[Any]:

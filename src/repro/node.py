@@ -42,7 +42,8 @@ from repro.ledger.apply import ApplyCode, AppliedTransaction, TransactionApplier
 from repro.ledger.pages import LedgerChain, LedgerPage
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import Payment, Transaction
-from repro.perf import PERF
+from repro.obs.manifest import RUN
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -201,12 +202,14 @@ class RippledNode:
             agreed_set = outcome.plurality_tx_set
             validated = False
             self.degraded_closes += 1
-            PERF.count("node.degraded_closes")
+            METRICS.count("node.degraded_closes")
+            RUN.count("degraded_closes")
             if self.chaos is not None:
                 self.chaos.note_degraded_close()
         else:
             self.failed_closes += 1
-            PERF.count("node.failed_closes")
+            METRICS.count("node.failed_closes")
+            RUN.count("failed_closes")
             if self.chaos is not None:
                 self.chaos.note_failed_close()
             return None
@@ -255,7 +258,8 @@ class RippledNode:
                 return outcome
             if attempt + 1 < attempts:
                 self.round_retries += 1
-                PERF.count("node.round_retries")
+                METRICS.count("node.round_retries")
+                RUN.count("round_retries")
                 if self.chaos is not None:
                     self.chaos.note_retry()
                 # Exponential backoff with jitter, in simulated time: the

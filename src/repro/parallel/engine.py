@@ -31,7 +31,7 @@ Durability extensions (PR 4):
   missing/corrupt shards recompute.  Shard plans are deterministic, so a
   resumed run is bit-for-bit identical to a cold one.
 
-Per-shard wall times are mirrored into :data:`repro.perf.PERF` as
+Per-shard wall times are mirrored into :data:`repro.obs.metrics.METRICS` as
 ``parallel.<artifact>.shard`` timers; worker-side perf snapshots are
 absorbed into the parent registry when profiling is enabled, so
 ``--profile fig3 --jobs 4`` still reports the familiar timer names.
@@ -50,7 +50,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.node import RetryPolicy
-from repro.perf import PERF
+from repro.obs.manifest import RUN
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 
 #: Environment kill switch: any non-empty value other than "0" forces serial.
 DISABLE_ENV = "REPRO_DISABLE_PARALLEL"
@@ -123,11 +125,19 @@ def run_compute(artifact, args: argparse.Namespace) -> Any:
     sharded = artifact.sharded
     if sharded is None or jobs <= 1:
         return artifact.compute(args)
-    with PERF.timer(f"parallel.{artifact.name}.prepare"):
+    with METRICS.timer(f"parallel.{artifact.name}.prepare"), \
+            TRACER.span(f"parallel.{artifact.name}.prepare"):
         context = sharded.prepare(args)
     shards = sharded.shards(context, jobs)
     if not shards:
         return artifact.compute(args)
+    from repro.durability.journal import plan_fingerprint
+
+    RUN.note(
+        plan_fingerprint=plan_fingerprint(shards),
+        shards=len(shards),
+        jobs=jobs,
+    )
     journal = _journal_for(artifact.name, args, shards)
     if len(shards) == 1 and journal is None:
         partials = [sharded.compute_shard(shards[0])]
@@ -136,29 +146,42 @@ def run_compute(artifact, args: argparse.Namespace) -> Any:
             artifact.name, sharded.compute_shard, shards, jobs,
             journal=journal,
         )
-    with PERF.timer(f"parallel.{artifact.name}.merge"):
+    with METRICS.timer(f"parallel.{artifact.name}.merge"), \
+            TRACER.span(f"parallel.{artifact.name}.merge"):
         return sharded.merge(partials, context)
 
 
 # Worker side ---------------------------------------------------------------
 
 
-def _call_shard(payload: Tuple[Callable[[Any], Any], Any, bool]):
+def _call_shard(
+    payload: Tuple[Callable[[Any], Any], Any, bool, bool, str, int]
+):
     """Apply one shard function; runs in the worker (or as the parent's
-    last-resort fallback).  Returns (partial, seconds, perf snapshot)."""
-    fn, shard, profile = payload
+    last-resort fallback).  Returns (partial, seconds, metrics snapshot,
+    trace snapshot)."""
+    fn, shard, profile, trace, name, index = payload
     if profile:
         # Forked workers inherit the parent's live registry; reset it so
         # the snapshot covers exactly this shard's work and absorbing it
         # never double-counts parent-side timers (spawn starts empty, so
         # the reset makes both start methods report identically).
-        PERF.reset()
-        PERF.enable()
+        METRICS.reset()
+        METRICS.enable()
+    if trace:
+        # Same inheritance story for the tracer: reset so the shipped
+        # spans cover exactly this shard, then wrap the shard in its own
+        # span so the absorbed trace shows where each shard ran.
+        TRACER.reset()
+        TRACER.enable()
     start = time.perf_counter()
-    partial = fn(shard)
+    # TRACER.span is a cheap no-op when tracing is off in this process.
+    with TRACER.span(f"parallel.{name}.shard", shard=index):
+        partial = fn(shard)
     elapsed = time.perf_counter() - start
-    snapshot = PERF.snapshot() if profile else None
-    return partial, elapsed, snapshot
+    snapshot = METRICS.snapshot() if profile else None
+    spans = TRACER.snapshot() if trace else None
+    return partial, elapsed, snapshot, spans
 
 
 def _start_method() -> str:
@@ -219,7 +242,11 @@ def map_shards(
         return []
     if timeout is None:
         timeout = shard_timeout()
-    profile = PERF.enabled
+    profile = METRICS.enabled
+    trace = TRACER.enabled
+    #: shard index -> worker trace snapshot, absorbed in index order once
+    #: the pool drains so the combined trace ordering is deterministic.
+    trace_snaps: Dict[int, Any] = {}
     rng = np.random.default_rng(0)
     results: Dict[int, Any] = {}
     pending = list(range(len(shards)))
@@ -229,13 +256,14 @@ def map_shards(
             if partial is not None:
                 results[index] = partial
                 pending.remove(index)
-                PERF.count(f"parallel.{name}.resumed")
+                METRICS.count(f"parallel.{name}.resumed")
+                RUN.count("shards_resumed")
         if not pending:
             return [results[index] for index in range(len(shards))]
 
     def record(index: int, partial: Any, elapsed: float) -> None:
         results[index] = partial
-        PERF.add_time(f"parallel.{name}.shard", elapsed)
+        METRICS.add_time(f"parallel.{name}.shard", elapsed)
         if journal is not None:
             journal.store(index, partial)
 
@@ -252,7 +280,8 @@ def map_shards(
             for index in pending:
                 try:
                     future = executor.submit(
-                        _call_shard, (fn, shards[index], profile)
+                        _call_shard,
+                        (fn, shards[index], profile, trace, name, index),
                     )
                 except BrokenProcessPool:
                     broken = True
@@ -277,15 +306,17 @@ def map_shards(
                 for future in done:
                     index = futures[future]
                     try:
-                        partial, elapsed, snapshot = future.result()
+                        partial, elapsed, snapshot, spans = future.result()
                     except Exception as exc:  # worker raise or pool death
                         broken = broken or isinstance(exc, BrokenProcessPool)
                         failed.append(index)
                         continue
                     record(index, partial, elapsed)
-                    PERF.count(f"parallel.{name}.shards")
+                    METRICS.count(f"parallel.{name}.shards")
                     if snapshot:
-                        PERF.absorb(snapshot)
+                        METRICS.absorb(snapshot)
+                    if spans:
+                        trace_snaps[index] = spans
                 if timeout is not None and remaining:
                     now = time.monotonic()
                     expired = [f for f in remaining if now >= deadlines[f]]
@@ -297,7 +328,8 @@ def map_shards(
                         broken = True
                         for future in expired:
                             failed.append(futures[future])
-                            PERF.count(f"parallel.{name}.timeouts")
+                            METRICS.count(f"parallel.{name}.timeouts")
+                            RUN.count("shard_timeouts")
                         victims = [
                             futures[f] for f in remaining if f not in expired
                         ]
@@ -314,13 +346,17 @@ def map_shards(
                 if attempts[index] > policy.max_retries:
                     # Graceful degradation: the parent computes the shard
                     # itself — same function, same partial, just serial.
-                    PERF.count(f"parallel.{name}.serial_fallbacks")
-                    partial, elapsed, snapshot = _call_shard(
-                        (fn, shards[index], False)
+                    # The shard span lands in the live parent tracer, so
+                    # profile/trace stay False here.
+                    METRICS.count(f"parallel.{name}.serial_fallbacks")
+                    RUN.count("shard_serial_fallbacks")
+                    partial, elapsed, _snapshot, _spans = _call_shard(
+                        (fn, shards[index], False, False, name, index)
                     )
                     record(index, partial, elapsed)
                 else:
-                    PERF.count(f"parallel.{name}.resubmits")
+                    METRICS.count(f"parallel.{name}.resubmits")
+                    RUN.count("shard_resubmits")
                     pending.append(index)
             if pending:
                 # Policy backoff is defined in simulated seconds; spacing
@@ -337,4 +373,9 @@ def map_shards(
             pending.extend(victims)
     finally:
         _terminate_pool(executor)
+    # Worker span snapshots are buffered as shards complete (arbitrary
+    # order) and absorbed here in shard order: the --jobs N trace is
+    # complete and its ordering deterministic.
+    for index in sorted(trace_snaps):
+        TRACER.absorb(trace_snaps[index])
     return [results[index] for index in range(len(shards))]

@@ -37,7 +37,8 @@ from repro.ledger.currency import XRP, Currency
 from repro.ledger.state import LedgerState
 from repro.ledger.transactions import BASE_FEE_DROPS
 from repro.payments.bridging import BridgePlan, plan_bridge, plan_same_currency_detour
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
+from repro.obs.trace import NULL_SPAN as _NULL_SPAN, TRACER
 from repro.payments.execution import ExecutionOutcome, Executor
 from repro.payments.graph import Edge, TrustGraph
 from repro.payments.pathfinding import (
@@ -154,8 +155,13 @@ class PaymentEngine:
         unchanged except for the burned fee (as in Ripple, where failed
         transactions still cost their fee once they claim a ledger slot).
         """
-        if PERF.enabled:
-            with PERF.timer("engine.submit"):
+        if METRICS.enabled or TRACER.verbose:
+            # Per-payment spans only under REPRO_TRACE_VERBOSE — at 12k+
+            # payments a span each would swamp the default trace.
+            with METRICS.timer("engine.submit"), (
+                TRACER.span("payments.submit")
+                if TRACER.verbose else _NULL_SPAN
+            ):
                 result = self._submit(
                     sender,
                     receiver,
@@ -165,9 +171,9 @@ class PaymentEngine:
                     banned_intermediaries,
                     allow_offers,
                 )
-            PERF.count("engine.payments")
+            METRICS.count("engine.payments")
             if not result.success:
-                PERF.count("engine.failures")
+                METRICS.count("engine.failures")
             return result
         return self._submit(
             sender,

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.ledger.accounts import AccountID
 from repro.payments.graph import DUST, TrustGraph
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 
 #: Ripple rejects pathologically long paths; the ledger data in Fig. 6 shows
 #: organic paths up to ~11 intermediate hops, spam up to 44.
@@ -120,8 +120,8 @@ def plan_payment(
     residual: Dict = {}
     remaining = amount
     while remaining > DUST and plan.parallel_paths < max_parallel_paths:
-        if PERF.enabled:
-            PERF.count("pathfinding.bfs_runs")
+        if METRICS.enabled:
+            METRICS.count("pathfinding.bfs_runs")
         path = shortest_path(
             graph, source, target, max_intermediate_hops, residual
         )
@@ -143,9 +143,9 @@ def plan_payment(
         plan.paths.append(path)
         plan.amounts.append(push)
         remaining -= push
-    if PERF.enabled:
-        PERF.count("pathfinding.plans")
-        PERF.count("pathfinding.paths_found", plan.parallel_paths)
+    if METRICS.enabled:
+        METRICS.count("pathfinding.plans")
+        METRICS.count("pathfinding.paths_found", plan.parallel_paths)
     return plan
 
 

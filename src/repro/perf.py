@@ -1,138 +1,29 @@
-"""Opt-in performance instrumentation: named counters and wall timers.
+"""Deprecated shim: ``repro.perf`` became :mod:`repro.obs.metrics`.
 
-The paper-scale ambition (23M payments) makes hot-path visibility a
-first-class concern, but instrumentation must not tax the hot paths it
-observes.  The registry is therefore *disabled by default* and every
-instrumented site guards on ``PERF.enabled`` — one attribute check when
-profiling is off.  Enable with the ``REPRO_PROFILE=1`` environment
-variable or the CLI's ``--profile`` flag; the CLI prints the report to
-stderr when the command finishes.
+The opt-in perf registry grew into the unified observability metrics
+registry — same recording API (``count``/``add_time``/``timer``/
+``absorb``/``snapshot``/``report``), same ``REPRO_PROFILE``/``--profile``
+activation, plus gauges, histograms, and Prometheus/JSON expositions.
 
-Instrumented sites (all coarse-grained — nothing inside BFS inner loops):
-
-* ``engine.submit`` — wall time and payment/failure counts;
-* ``pathfinding.*`` — plans, BFS passes, paths found;
-* ``generator.generate`` — whole-history wall time and slot count;
-* ``etl.from_records`` — dataset build wall time;
-* ``deanon.information_gain`` — per-feature-list IG wall time.
+``PERF`` *is* :data:`repro.obs.metrics.METRICS` (one shared registry, so
+legacy callers and migrated callers see the same numbers) and
+``PerfRegistry`` *is* :class:`repro.obs.metrics.MetricsRegistry`.
+Importing this module emits a :class:`DeprecationWarning`; in-tree code
+imports the new names directly, and CI fails if any in-tree module
+triggers this shim.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, List
+import warnings
 
+from repro.obs.metrics import METRICS as PERF, MetricsRegistry as PerfRegistry
 
-class PerfRegistry:
-    """Accumulates named counters and wall-clock timers.
-
-    Counters are plain integer sums.  Timers accumulate total seconds and
-    call counts, so the report can show both totals and per-call costs.
-    All methods are no-ops while ``enabled`` is False.
-    """
-
-    def __init__(self, enabled: bool = False):
-        self.enabled = enabled
-        self.counters: Dict[str, int] = {}
-        #: name -> [total_seconds, calls]
-        self._timers: Dict[str, List[float]] = {}
-
-    # Control ----------------------------------------------------------------------
-
-    def enable(self) -> None:
-        self.enabled = True
-
-    def disable(self) -> None:
-        self.enabled = False
-
-    def reset(self) -> None:
-        self.counters.clear()
-        self._timers.clear()
-
-    # Recording --------------------------------------------------------------------
-
-    def count(self, name: str, delta: int = 1) -> None:
-        if not self.enabled:
-            return
-        self.counters[name] = self.counters.get(name, 0) + delta
-
-    def add_time(self, name: str, seconds: float) -> None:
-        if not self.enabled:
-            return
-        slot = self._timers.get(name)
-        if slot is None:
-            self._timers[name] = [seconds, 1]
-        else:
-            slot[0] += seconds
-            slot[1] += 1
-
-    @contextmanager
-    def timer(self, name: str) -> Iterator[None]:
-        """Time a block; free (single boolean check) when disabled."""
-        if not self.enabled:
-            yield
-            return
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - start)
-
-    def absorb(self, snapshot: Dict[str, object]) -> None:
-        """Merge a :meth:`snapshot` from another process into this registry.
-
-        The parallel engine ships each worker's snapshot back with its
-        shard partial; absorbing them keeps ``--profile --jobs 4`` reports
-        shaped like the serial ones (counter sums, timer totals and call
-        counts accumulate across processes).
-        """
-        if not self.enabled or not isinstance(snapshot, dict):
-            return
-        for name, delta in snapshot.get("counters", {}).items():
-            self.counters[name] = self.counters.get(name, 0) + int(delta)
-        for name, info in snapshot.get("timers", {}).items():
-            slot = self._timers.get(name)
-            if slot is None:
-                slot = self._timers[name] = [0.0, 0]
-            slot[0] += float(info["seconds"])
-            slot[1] += int(info["calls"])
-
-    # Reporting --------------------------------------------------------------------
-
-    def snapshot(self) -> Dict[str, object]:
-        """Machine-readable dump of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "timers": {
-                name: {
-                    "seconds": total,
-                    "calls": int(calls),
-                    "per_call": total / calls if calls else 0.0,
-                }
-                for name, (total, calls) in self._timers.items()
-            },
-        }
-
-    def report(self) -> str:
-        """Human-readable table, one line per counter/timer."""
-        lines = ["-- perf report --"]
-        for name in sorted(self._timers):
-            total, calls = self._timers[name]
-            per_call = total / calls if calls else 0.0
-            lines.append(
-                f"  {name:32s} {total:10.4f} s  {int(calls):>9d} calls"
-                f"  {per_call * 1e6:12.2f} us/call"
-            )
-        for name in sorted(self.counters):
-            lines.append(f"  {name:32s} {self.counters[name]:>12d}")
-        if len(lines) == 1:
-            lines.append("  (nothing recorded)")
-        return "\n".join(lines)
-
-
-#: Process-wide registry; honours ``REPRO_PROFILE`` at import time.
-PERF = PerfRegistry(
-    enabled=os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+warnings.warn(
+    "repro.perf is deprecated; use repro.obs.metrics "
+    "(METRICS / MetricsRegistry) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
+
+__all__ = ["PERF", "PerfRegistry"]

@@ -33,7 +33,8 @@ from repro.ledger.currency import Currency, eur_value
 from repro.ledger.offers import Offer
 from repro.ledger.state import LedgerState
 from repro.payments.engine import PaymentEngine, PaymentResult
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.synthetic.actors import Cast, build_cast
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.distributions import sample_amounts
@@ -165,7 +166,8 @@ class LedgerHistoryGenerator:
 
     def generate(self) -> SyntheticHistory:
         """Run the whole history and return it."""
-        with PERF.timer("generator.generate"):
+        with METRICS.timer("generator.generate"), \
+                TRACER.span("synthetic.generate", payments=self.config.n_payments):
             slots = build_schedule(self.config, self.rng)
             offer_times = offer_schedule(self.config, self.rng)
             offer_cursor = 0
@@ -181,9 +183,9 @@ class LedgerHistoryGenerator:
             while offer_cursor < len(offer_times):
                 self._place_offer(int(offer_times[offer_cursor]))
                 offer_cursor += 1
-            if PERF.enabled:
-                PERF.count("generator.slots", len(slots))
-                PERF.count("generator.offers_scheduled", len(offer_times))
+            if METRICS.enabled:
+                METRICS.count("generator.slots", len(slots))
+                METRICS.count("generator.offers_scheduled", len(offer_times))
         return self.history
 
     # Actor helpers -----------------------------------------------------------------

@@ -25,7 +25,7 @@ from repro.analysis.market_makers import (
 )
 from repro.analysis.paths import path_structure, spam_hop_attribution
 from repro.analysis.survival import curve_distance, figure5_curves, survival_curve
-from repro.analysis.report import (
+from repro.api.render import (
     render_figure2,
     render_figure3,
     render_figure4,

@@ -46,7 +46,11 @@ class TestRegistry:
 
 class TestDeprecatedAliases:
     def test_analysis_report_reexports_api_render(self):
-        from repro.analysis import report as old
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.analysis import report as old
         from repro.api import render as new
 
         for name in (
@@ -55,6 +59,26 @@ class TestDeprecatedAliases:
             "render_table2",
         ):
             assert getattr(old, name) is getattr(new, name)
+
+    def test_analysis_report_import_warns(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.analysis.report", None)
+        with pytest.warns(DeprecationWarning, match="repro.analysis.report"):
+            importlib.import_module("repro.analysis.report")
+
+    def test_perf_shim_import_warns(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.perf", None)
+        with pytest.warns(DeprecationWarning, match="repro.perf"):
+            shim = importlib.import_module("repro.perf")
+        from repro.obs.metrics import METRICS, MetricsRegistry
+
+        assert shim.PERF is METRICS
+        assert shim.PerfRegistry is MetricsRegistry
 
 
 class TestCliDispatch:

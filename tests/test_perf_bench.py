@@ -1,11 +1,11 @@
-"""The perf registry and the benchmark JSON writer."""
+"""The metrics registry (legacy perf surface) and the bench JSON writer."""
 
 from __future__ import annotations
 
 import json
 
 from repro.bench import SCHEMA, write_result
-from repro.perf import PerfRegistry
+from repro.obs.metrics import MetricsRegistry as PerfRegistry
 
 
 class TestPerfRegistry:
