@@ -6,6 +6,14 @@ numpy arrays with factorized account and currency identifiers.  Building
 one from :class:`~repro.synthetic.records.TransactionRecord` lists is the
 synthetic equivalent of the authors' extract-transform step over the raw
 ledger.
+
+Every numeric column — including the ``int8`` kind codes that replace the
+old ``dtype=object`` kind strings — lives in **one contiguous byte
+buffer**; the column arrays are views into it at the offsets
+:func:`column_layout` computes.  That single-buffer shape is what makes
+the dataset shareable: :mod:`repro.parallel.shm` copies the same layout
+into a ``multiprocessing.shared_memory`` segment and hands workers a
+``(segment, offset, rows)`` descriptor instead of a pickle of the arrays.
 """
 
 from __future__ import annotations
@@ -21,6 +29,60 @@ from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
 from repro.synthetic.records import TransactionRecord
 
+#: The shareable numeric columns in buffer order: ``(field, dtype)``.
+#: Explicit byte orders keep a descriptor meaningful across processes and
+#: machines; the layout is the contract between the in-process dataset,
+#: the shared-memory publisher, and the worker-side reconstruction.
+NUMERIC_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("timestamps", "<i8"),
+    ("sender_ids", "<i8"),
+    ("destination_ids", "<i8"),
+    ("currency_ids", "<i8"),
+    ("amounts", "<f8"),
+    ("intermediate_hops", "<i8"),
+    ("parallel_paths", "<i8"),
+    ("is_xrp_direct", "|b1"),
+    ("cross_currency", "|b1"),
+    ("kind_codes", "|i1"),
+)
+
+
+def column_layout(n_rows: int) -> Tuple[List[Tuple[str, str, int]], int]:
+    """``([(name, dtype, byte offset), ...], total bytes)`` for ``n_rows``.
+
+    Columns are packed in :data:`NUMERIC_COLUMNS` order, each starting on
+    an 8-byte boundary so every view is aligned for its dtype regardless
+    of how many rows precede it.
+    """
+    layout: List[Tuple[str, str, int]] = []
+    offset = 0
+    for name, dtype in NUMERIC_COLUMNS:
+        layout.append((name, dtype, offset))
+        nbytes = n_rows * np.dtype(dtype).itemsize
+        offset += (nbytes + 7) // 8 * 8
+    return layout, offset
+
+
+def consolidate_columns(
+    columns: Dict[str, np.ndarray], n_rows: int, out=None
+) -> Tuple[object, Dict[str, np.ndarray]]:
+    """Pack ``columns`` into one contiguous buffer; return (buffer, views).
+
+    ``out`` is an optional pre-allocated writable buffer (e.g. a
+    ``multiprocessing.shared_memory`` block) of at least the layout's
+    total size; by default a process-private ``bytearray`` is allocated.
+    The returned views alias the buffer — writing one writes the other —
+    which is exactly the zero-copy property the shard executor relies on.
+    """
+    layout, total = column_layout(n_rows)
+    buffer = bytearray(total) if out is None else out
+    views: Dict[str, np.ndarray] = {}
+    for name, dtype, offset in layout:
+        view = np.frombuffer(buffer, dtype=dtype, count=n_rows, offset=offset)
+        view[:] = columns[name]
+        views[name] = view
+    return buffer, views
+
 
 @dataclass
 class TransactionDataset:
@@ -29,9 +91,15 @@ class TransactionDataset:
     ``accounts``/``currencies`` are the factorization dictionaries:
     ``sender_ids[i]`` indexes into ``accounts``, etc.  Only *delivered*
     payments are included by default — the public ledger's payment view.
+
+    ``kind_codes`` is an ``int8`` column indexing into ``kind_vocab``
+    (first-appearance order); the legacy string view is available through
+    the :attr:`kinds` property.  The factorization *indexes* are built
+    lazily on first lookup — shard workers that only touch the numeric
+    columns never pay for hashing every account.
     """
 
-    accounts: List[AccountID]
+    accounts: Sequence[AccountID]
     currencies: List[str]
     timestamps: np.ndarray
     sender_ids: np.ndarray
@@ -42,21 +110,16 @@ class TransactionDataset:
     parallel_paths: np.ndarray
     is_xrp_direct: np.ndarray
     cross_currency: np.ndarray
-    kinds: np.ndarray
+    kind_codes: np.ndarray
+    kind_vocab: List[str]
     _account_index: Dict[AccountID, int] = field(default_factory=dict, repr=False)
     _currency_index: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.timestamps) != len(self.sender_ids):
             raise AnalysisError("column length mismatch")
-        if not self._account_index:
-            self._account_index = {
-                account: index for index, account in enumerate(self.accounts)
-            }
-        if not self._currency_index:
-            self._currency_index = {
-                code: index for index, code in enumerate(self.currencies)
-            }
+        if len(self.kind_codes) != len(self.timestamps):
+            raise AnalysisError("column length mismatch")
 
     # Construction -----------------------------------------------------------------
 
@@ -94,11 +157,15 @@ class TransactionDataset:
         accounts: List[AccountID] = []
         currency_index: Dict[str, int] = {}
         currencies: List[str] = []
+        kind_index: Dict[str, int] = {}
+        kind_vocab: List[str] = []
         sender_list: List[int] = []
         destination_list: List[int] = []
         currency_list: List[int] = []
+        kind_list: List[int] = []
         account_get = account_index.get
         currency_get = currency_index.get
+        kind_get = kind_index.get
         for record in rows:
             sender = record.sender
             found = account_get(sender)
@@ -118,34 +185,51 @@ class TransactionDataset:
                 found = currency_index[code] = len(currencies)
                 currencies.append(code)
             currency_list.append(found)
+            kind = record.kind
+            found = kind_get(kind)
+            if found is None:
+                found = kind_index[kind] = len(kind_vocab)
+                kind_vocab.append(kind)
+            kind_list.append(found)
+        if len(kind_vocab) > 127:
+            raise AnalysisError("more than 127 payment kinds; int8 overflow")
 
+        # One consolidation pass packs every column into a single
+        # contiguous buffer; the dataset's arrays are views into it.
+        _buffer, views = consolidate_columns(
+            {
+                "timestamps": np.fromiter(
+                    (r.timestamp for r in rows), dtype=np.int64, count=n
+                ),
+                "sender_ids": np.array(sender_list, dtype=np.int64),
+                "destination_ids": np.array(destination_list, dtype=np.int64),
+                "currency_ids": np.array(currency_list, dtype=np.int64),
+                "amounts": np.fromiter(
+                    (r.amount for r in rows), dtype=np.float64, count=n
+                ),
+                "intermediate_hops": np.fromiter(
+                    (r.intermediate_hops for r in rows), dtype=np.int64, count=n
+                ),
+                "parallel_paths": np.fromiter(
+                    (r.parallel_paths for r in rows), dtype=np.int64, count=n
+                ),
+                "is_xrp_direct": np.fromiter(
+                    (r.is_xrp_direct for r in rows), dtype=bool, count=n
+                ),
+                "cross_currency": np.fromiter(
+                    (r.cross_currency for r in rows), dtype=bool, count=n
+                ),
+                "kind_codes": np.array(kind_list, dtype=np.int8),
+            },
+            n,
+        )
         return cls(
             accounts=accounts,
             currencies=currencies,
-            timestamps=np.fromiter(
-                (r.timestamp for r in rows), dtype=np.int64, count=n
-            ),
-            sender_ids=np.array(sender_list, dtype=np.int64),
-            destination_ids=np.array(destination_list, dtype=np.int64),
-            currency_ids=np.array(currency_list, dtype=np.int64),
-            amounts=np.fromiter(
-                (r.amount for r in rows), dtype=np.float64, count=n
-            ),
-            intermediate_hops=np.fromiter(
-                (r.intermediate_hops for r in rows), dtype=np.int64, count=n
-            ),
-            parallel_paths=np.fromiter(
-                (r.parallel_paths for r in rows), dtype=np.int64, count=n
-            ),
-            is_xrp_direct=np.fromiter(
-                (r.is_xrp_direct for r in rows), dtype=bool, count=n
-            ),
-            cross_currency=np.fromiter(
-                (r.cross_currency for r in rows), dtype=bool, count=n
-            ),
-            kinds=np.array([r.kind for r in rows], dtype=object),
+            kind_vocab=kind_vocab,
             _account_index=account_index,
             _currency_index=currency_index,
+            **views,
         )
 
     # Accessors --------------------------------------------------------------------
@@ -153,8 +237,30 @@ class TransactionDataset:
     def __len__(self) -> int:
         return len(self.timestamps)
 
+    @property
+    def kinds(self) -> np.ndarray:
+        """Row kinds as strings (``dtype=object``) — the legacy view.
+
+        Materialized on demand from the ``int8`` codes; analyses that
+        filter on kind (``dataset.kinds == "fiat"``) keep working, while
+        everything that ships a dataset across a process boundary moves
+        the one-byte codes instead of per-row Python strings.
+        """
+        if not self.kind_vocab:
+            return np.empty(len(self.kind_codes), dtype=object)
+        vocab = np.array(self.kind_vocab, dtype=object)
+        return vocab[self.kind_codes]
+
     def account_id_of(self, account: AccountID) -> Optional[int]:
-        return self._account_index.get(account)
+        index = self._account_index
+        if not index and len(self.accounts):
+            # Built in place: slices share this dict with their parent, so
+            # one build serves every view of the same factorization.
+            index.update(
+                (account, position)
+                for position, account in enumerate(self.accounts)
+            )
+        return index.get(account)
 
     def currency_code(self, currency_id: int) -> str:
         return self.currencies[currency_id]
@@ -175,7 +281,8 @@ class TransactionDataset:
             parallel_paths=self.parallel_paths[mask],
             is_xrp_direct=self.is_xrp_direct[mask],
             cross_currency=self.cross_currency[mask],
-            kinds=self.kinds[mask],
+            kind_codes=self.kind_codes[mask],
+            kind_vocab=self.kind_vocab,
             _account_index=self._account_index,
             _currency_index=self._currency_index,
         )
@@ -200,7 +307,8 @@ class TransactionDataset:
             parallel_paths=self.parallel_paths[start:stop],
             is_xrp_direct=self.is_xrp_direct[start:stop],
             cross_currency=self.cross_currency[start:stop],
-            kinds=self.kinds[start:stop],
+            kind_codes=self.kind_codes[start:stop],
+            kind_vocab=self.kind_vocab,
             _account_index=self._account_index,
             _currency_index=self._currency_index,
         )
@@ -210,7 +318,13 @@ class TransactionDataset:
         return (~self.is_xrp_direct) & (self.intermediate_hops >= 1)
 
     def rows_for_currency(self, code: str) -> np.ndarray:
-        currency_id = self._currency_index.get(code)
+        index = self._currency_index
+        if not index and self.currencies:
+            index.update(
+                (code_, position)
+                for position, code_ in enumerate(self.currencies)
+            )
+        currency_id = index.get(code)
         if currency_id is None:
             return np.zeros(len(self), dtype=bool)
         return self.currency_ids == currency_id

@@ -223,7 +223,7 @@ def cmd_bench_node(args: argparse.Namespace) -> int:
 def cmd_bench_smoke(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.bench import run_pipeline
+    from repro.bench import gate_payload, run_pipeline
 
     out = args.out or "BENCH_pipeline.json"
     # Serial-vs-parallel fig3 is part of the smoke run: 4 workers unless
@@ -231,6 +231,16 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
     payload = run_pipeline(Path(out), jobs=getattr(args, "jobs", None) or 4)
     print(json.dumps(payload["speedup"], indent=2, sort_keys=True))
     print(f"wrote {out}")
+    failures = gate_payload(payload)
+    if failures:
+        for failure in failures:
+            print(f"bench gate FAILED: {failure}", file=sys.stderr)
+        return 1
+    if (payload.get("cpu_count") or 1) <= 1:
+        print(
+            "bench gate: figure3_parallel_x not gated on a 1-core host "
+            "(worker pool is pure overhead here; ratio is not meaningful)"
+        )
     return 0
 
 

@@ -54,7 +54,8 @@ def _clone_with(
         parallel_paths=dataset.parallel_paths,
         is_xrp_direct=dataset.is_xrp_direct,
         cross_currency=dataset.cross_currency,
-        kinds=dataset.kinds,
+        kind_codes=dataset.kind_codes,
+        kind_vocab=dataset.kind_vocab,
     )
 
 

@@ -89,12 +89,16 @@ def decode_account_id(address: str) -> bytes:
     return payload[1:]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, eq=True)
 class AccountID:
     """A 160-bit Ripple account identifier.
 
     Instances are immutable, hashable, and totally ordered (by raw bytes), so
-    they can key dictionaries and sort deterministically.
+    they can key dictionaries and sort deterministically.  The hash is
+    computed once at construction: account IDs key the ledger's account,
+    trust-line, and version dictionaries, and the path finder's BFS hashes
+    the same few hub accounts hundreds of times per payment — a cached slot
+    turns each of those into one attribute read.
     """
 
     raw: bytes
@@ -102,6 +106,20 @@ class AccountID:
     def __post_init__(self) -> None:
         if len(self.raw) != 20:
             raise InvalidAddressError(f"account ID must be 20 bytes, got {len(self.raw)}")
+        object.__setattr__(self, "_hash", hash(self.raw))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __getstate__(self):
+        # _hash is salted per process (bytes hashing uses SipHash with a
+        # per-interpreter key), so it must never travel in a pickle — spawn
+        # workers would inherit a stale hash and corrupt every dict lookup.
+        return {"raw": self.raw}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "raw", state["raw"])
+        object.__setattr__(self, "_hash", hash(state["raw"]))
 
     @classmethod
     def from_public_key(cls, public_key: bytes) -> "AccountID":

@@ -3,10 +3,16 @@
 Execution model for an artifact with a :class:`ShardedCompute` contract:
 
 1. ``prepare(args)`` runs in the parent (dataset build, replay, …);
-2. ``shards(context, jobs)`` splits the context into contiguous shards;
-3. each shard is pickled to a worker process which applies
-   ``compute_shard`` and returns ``(partial, seconds, perf_snapshot)``;
-4. ``merge(partials, context)`` reduces in the parent, in shard order.
+2. ``shards(context, jobs)`` splits the context into contiguous shards —
+   for dataset artifacts these are :class:`repro.parallel.shm.ShardDescriptor`
+   handles over one shared-memory segment, a few hundred pickled bytes
+   per shard instead of the shard's arrays;
+3. each shard is submitted to the **persistent warm worker pool**
+   (:mod:`repro.parallel.pool` — spawned lazily once per process, reused
+   by every later artifact) whose worker applies ``compute_shard`` and
+   returns ``(partial, seconds, perf_snapshot)``;
+4. ``merge(partials, context)`` reduces in the parent, in shard order,
+   and the parent unlinks the shared segment.
 
 Failure handling reuses the PR 2 retry policy: a shard whose worker
 raises — or whose pool dies underneath it — is resubmitted up to
@@ -43,7 +49,7 @@ import argparse
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -53,6 +59,8 @@ from repro.node import RetryPolicy
 from repro.obs.manifest import RUN
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
+from repro.parallel import pool as warm_pool
+from repro.parallel.shm import ShardDescriptor, release_shards
 
 #: Environment kill switch: any non-empty value other than "0" forces serial.
 DISABLE_ENV = "REPRO_DISABLE_PARALLEL"
@@ -137,18 +145,25 @@ def run_compute(artifact, args: argparse.Namespace) -> Any:
         plan_fingerprint=plan_fingerprint(shards),
         shards=len(shards),
         jobs=jobs,
+        zero_copy=any(isinstance(s, ShardDescriptor) for s in shards),
     )
     journal = _journal_for(artifact.name, args, shards)
-    if len(shards) == 1 and journal is None:
-        partials = [sharded.compute_shard(shards[0])]
-    else:
-        partials = map_shards(
-            artifact.name, sharded.compute_shard, shards, jobs,
-            journal=journal,
-        )
-    with METRICS.timer(f"parallel.{artifact.name}.merge"), \
-            TRACER.span(f"parallel.{artifact.name}.merge"):
-        return sharded.merge(partials, context)
+    try:
+        if len(shards) == 1 and journal is None:
+            partials = [sharded.compute_shard(shards[0])]
+        else:
+            partials = map_shards(
+                artifact.name, sharded.compute_shard, shards, jobs,
+                journal=journal,
+            )
+        with METRICS.timer(f"parallel.{artifact.name}.merge"), \
+                TRACER.span(f"parallel.{artifact.name}.merge"):
+            return sharded.merge(partials, context)
+    finally:
+        # Partials hold no views into the segment (they are reductions),
+        # so the shared columns can be unlinked as soon as the merge is
+        # done — artifact invocations never accumulate /dev/shm space.
+        release_shards(shards)
 
 
 # Worker side ---------------------------------------------------------------
@@ -198,22 +213,6 @@ def _start_method() -> str:
 
 
 # Parent side ---------------------------------------------------------------
-
-
-def _terminate_pool(executor: ProcessPoolExecutor) -> None:
-    """Tear down a pool that may contain hung workers, without blocking.
-
-    ``shutdown(wait=True)`` would join a worker that never returns; kill
-    the processes first (best effort — ``_processes`` is CPython's pool
-    bookkeeping), then reap them.
-    """
-    processes = getattr(executor, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except OSError:  # pragma: no cover - already dead
-            pass
-    executor.shutdown(wait=True, cancel_futures=True)
 
 
 def map_shards(
@@ -267,10 +266,14 @@ def map_shards(
         if journal is not None:
             journal.store(index, partial)
 
-    jobs = max(1, min(jobs, len(pending)))
+    jobs = max(1, jobs)
     attempts = [0] * len(shards)
     context = multiprocessing.get_context(_start_method())
-    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    # The pool comes from the warm cache: within one process, startup is
+    # paid on the first sharded call only.  Any pool this loop breaks
+    # (crash, hang) is discarded and replaced; a healthy pool goes back
+    # to the cache in the finally below.
+    executor = warm_pool.acquire(jobs, context)
     try:
         while pending:
             futures = {}
@@ -335,10 +338,8 @@ def map_shards(
                         ]
                         remaining = set()
             if hung:
-                _terminate_pool(executor)
-                executor = ProcessPoolExecutor(
-                    max_workers=jobs, mp_context=context
-                )
+                warm_pool.discard(executor)
+                executor = warm_pool.acquire(jobs, context)
                 broken = False
             pending = []
             for index in sorted(failed):
@@ -366,13 +367,16 @@ def map_shards(
                 )
                 time.sleep(delay_ms / 1000.0)
                 if broken:
-                    executor.shutdown(wait=True, cancel_futures=True)
-                    executor = ProcessPoolExecutor(
-                        max_workers=jobs, mp_context=context
-                    )
+                    warm_pool.discard(executor)
+                    executor = warm_pool.acquire(jobs, context)
             pending.extend(victims)
     finally:
-        _terminate_pool(executor)
+        # A pool that broke on the very last round must not go back to
+        # the warm cache; everything healthy does, workers still hot.
+        if getattr(executor, "_broken", False):
+            warm_pool.discard(executor)
+        else:
+            warm_pool.release(executor, jobs, context)
     # Worker span snapshots are buffered as shards complete (arbitrary
     # order) and absorbed here in shard order: the --jobs N trace is
     # complete and its ordering deterministic.

@@ -1,0 +1,114 @@
+"""A persistent warm worker pool, reused across artifact invocations.
+
+Spawning a ``ProcessPoolExecutor`` costs fork/exec, interpreter start
+(under spawn), and importing the repro package in every worker — for the
+small shard counts our artifacts use, pool startup dominated the parallel
+path (`figure3_parallel_x` ~0.1x).  This module keeps **one** pool alive
+per process and hands it to every :func:`repro.parallel.engine.map_shards`
+call:
+
+* :func:`acquire` returns the warm pool when the requested ``(start
+  method, jobs)`` matches, else tears the old one down and spawns fresh;
+* :func:`release` returns the pool to the warm cache — workers stay up,
+  the next artifact pays zero startup;
+* :func:`discard` destroys a pool the caller saw break (crashed or hung
+  worker).  Teardown is atomic with respect to the cache — the cache is
+  emptied *before* any process is signalled, so no later ``acquire`` can
+  see a dying pool — and finishes with a shared-memory stale-segment
+  sweep, mirroring the durability layer's stale-temp sweep: a watchdog
+  kill reclaims orphaned ``/dev/shm`` segments on the spot.
+
+An ``atexit`` hook shuts the warm pool down on interpreter exit; a
+``kill -9`` of the whole process is covered by the OS reaping the worker
+children and by the next run's stale-segment sweep.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Tuple
+
+from repro.obs.metrics import METRICS
+
+#: (start method, max workers) -> live executor; at most one entry.
+_WARM: Optional[Tuple[Tuple[str, int], ProcessPoolExecutor]] = None
+
+_ATEXIT_INSTALLED = False
+
+
+def _install_atexit() -> None:
+    global _ATEXIT_INSTALLED
+    if not _ATEXIT_INSTALLED:
+        _ATEXIT_INSTALLED = True
+        atexit.register(shutdown)
+
+
+def acquire(jobs: int, mp_context) -> ProcessPoolExecutor:
+    """The warm pool for ``jobs`` workers, spawning only on a miss.
+
+    A pool with a different worker count or start method is not reusable
+    (determinism and capacity both key on the request); it is shut down
+    and replaced.  The returned executor stays owned by this module —
+    callers must hand it back through :func:`release` or :func:`discard`,
+    never ``shutdown()`` it themselves.
+    """
+    global _WARM
+    key = (mp_context.get_start_method(), jobs)
+    if _WARM is not None:
+        warm_key, executor = _WARM
+        if warm_key == key:
+            _WARM = None
+            METRICS.count("parallel.pool.reused")
+            return executor
+        shutdown()
+    _install_atexit()
+    METRICS.count("parallel.pool.spawned")
+    with METRICS.timer("parallel.pool.spawn"):
+        return ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+
+
+def release(executor: ProcessPoolExecutor, jobs: int, mp_context) -> None:
+    """Return a healthy pool to the warm cache for the next artifact."""
+    global _WARM
+    if _WARM is not None:
+        # Another pool was cached while this one was out (nested use);
+        # keep the cached one, retire this one.
+        executor.shutdown(wait=True, cancel_futures=True)
+        return
+    _WARM = ((mp_context.get_start_method(), jobs), executor)
+
+
+def discard(executor: ProcessPoolExecutor) -> None:
+    """Destroy a broken or hung pool and reclaim what it may have leaked.
+
+    Hung workers never join, so the processes are terminated first
+    (best effort over CPython's ``_processes`` bookkeeping), then reaped;
+    the stale shared-memory sweep runs last, after the killers above, so
+    segments orphaned by the dead workers' parent runs are reclaimed.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except OSError:  # pragma: no cover - already dead
+            pass
+    executor.shutdown(wait=True, cancel_futures=True)
+    METRICS.count("parallel.pool.discarded")
+    from repro.parallel.shm import sweep_stale_segments
+
+    sweep_stale_segments()
+
+
+def shutdown() -> None:
+    """Tear down the warm pool (idempotent; used by atexit and tests)."""
+    global _WARM
+    if _WARM is None:
+        return
+    _warm, _WARM = _WARM, None
+    _warm[1].shutdown(wait=True, cancel_futures=True)
+
+
+def warm_pool_alive() -> bool:
+    """Whether a warm pool is currently cached (introspection/tests)."""
+    return _WARM is not None

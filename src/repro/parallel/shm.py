@@ -1,0 +1,414 @@
+"""Zero-copy dataset shards over ``multiprocessing.shared_memory``.
+
+The sharded executor used to pickle a sliced :class:`TransactionDataset`
+into every worker — megabytes of numpy arrays plus a Python object per
+account, serialized once per shard per artifact.  This module replaces
+that with a publish/attach protocol:
+
+* the parent **publishes** the dataset once: every numeric column is
+  packed into a single shared-memory segment using the same
+  :func:`~repro.analysis.dataset.column_layout` that backs the in-process
+  dataset, followed by the account table as packed 20-byte IDs;
+* each shard travels as a :class:`ShardDescriptor` — segment name, row
+  range, and the (tiny) string vocabularies.  Pickling a descriptor costs
+  a few hundred bytes no matter how many rows the shard covers;
+* a worker **materializes** a descriptor by attaching to the segment
+  (cached per process — a warm worker attaches once per artifact, not
+  once per shard) and building numpy views at the layout's offsets.  No
+  row bytes are ever copied; the views are marked read-only so a buggy
+  shard function cannot corrupt its siblings' input.
+
+Lifecycle mirrors :mod:`repro.durability`'s stale-temp discipline: the
+owning process unlinks its segments after the merge (or at exit, via
+``atexit``/SIGTERM handlers), and :func:`sweep_stale_segments` removes
+segments whose owner pid is dead — the shared-memory analogue of sweeping
+``*.tmp.*`` leftovers, so a ``kill -9`` mid-run never leaks ``/dev/shm``
+space past the next publish.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import signal
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.dataset import (
+    NUMERIC_COLUMNS,
+    TransactionDataset,
+    column_layout,
+    consolidate_columns,
+)
+from repro.ledger.accounts import AccountID
+from repro.obs.metrics import METRICS
+from repro.parallel.sharding import shard_ranges
+
+#: Segment names look like ``repro-shm-<owner pid>-<counter>``; the pid is
+#: what lets the sweep decide whether a leftover segment is orphaned.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Where POSIX shared memory appears as files (Linux).  The sweep is a
+#: no-op on platforms without it.
+SHM_DIR = "/dev/shm"
+
+#: Raw byte width of one packed :class:`AccountID`.
+ACCOUNT_BYTES = 20
+
+#: Attached-segment cache bound per worker process.  Eviction only
+#: succeeds once no views into the segment remain (BufferError otherwise),
+#: so a long-lived warm worker cannot accumulate unbounded mappings.
+MAX_ATTACHED = 8
+
+_COUNTER = itertools.count()
+
+#: name -> DatasetSegment published (and still owned) by this process.
+_LIVE: Dict[str, "DatasetSegment"] = {}
+
+#: name -> SharedMemory attached (not owned) by this process, LRU order.
+_ATTACHED: Dict[str, object] = {}
+
+_CLEANUP_INSTALLED = False
+
+
+# Cleanup -------------------------------------------------------------------
+
+
+def _cleanup_live_segments(*_args) -> None:
+    """Unlink every segment this process still owns (idempotent)."""
+    for segment in list(_LIVE.values()):
+        segment.close()
+
+
+def _on_signal(signum, frame) -> None:  # pragma: no cover - signal path
+    _cleanup_live_segments()
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_cleanup() -> None:
+    """Register the exit sweep once: ``atexit`` for normal exits, a
+    chaining SIGTERM handler for polite kills (``kill -9`` is covered by
+    the next process's stale sweep instead)."""
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_cleanup_live_segments)
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _on_signal)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+    return True
+
+
+def sweep_stale_segments() -> List[str]:
+    """Remove ``/dev/shm`` segments owned by dead processes (best effort).
+
+    Runs opportunistically before every publish — the same pattern as
+    :func:`repro.durability.atomic._sweep_stale_temps` — so segments
+    orphaned by a ``kill -9`` are reclaimed by the next run that shares
+    memory, without any daemon.  Returns the names it removed.
+    """
+    removed: List[str] = []
+    if not os.path.isdir(SHM_DIR):
+        return removed
+    marker = SEGMENT_PREFIX + "-"
+    for entry in os.listdir(SHM_DIR):
+        if not entry.startswith(marker):
+            continue
+        fields = entry[len(marker):].split("-")
+        if not fields or not fields[0].isdigit():
+            continue
+        owner = int(fields[0])
+        if owner == os.getpid() or _pid_alive(owner):
+            continue
+        try:
+            os.remove(os.path.join(SHM_DIR, entry))
+        except OSError:  # pragma: no cover - raced another sweeper
+            continue
+        removed.append(entry)
+    if removed:
+        METRICS.count("shm.stale_swept", len(removed))
+    return removed
+
+
+# Worker-side attachment ----------------------------------------------------
+
+
+def _attach(name: str):
+    """A (cached) ``SharedMemory`` attachment for ``name``.
+
+    The resource tracker registers *every* open — owner and attacher
+    alike (CPython < 3.13) — but pool workers share the parent's tracker
+    process, whose per-name cache is a set: the duplicate registration is
+    a no-op, and the owner's ``unlink`` clears the single entry for
+    everyone.  (Unregistering here instead would *remove* that shared
+    entry and make the owner's unlink trip a tracker KeyError.)
+    """
+    from multiprocessing import shared_memory
+
+    cached = _ATTACHED.pop(name, None)
+    if cached is not None:
+        _ATTACHED[name] = cached  # refresh LRU position
+        return cached
+    segment = shared_memory.SharedMemory(name=name, create=False)
+    while len(_ATTACHED) >= MAX_ATTACHED:
+        stale_name = next(iter(_ATTACHED))
+        stale = _ATTACHED.pop(stale_name)
+        try:
+            stale.close()
+        except BufferError:
+            # Views into it are still alive somewhere; keep the mapping.
+            _ATTACHED[stale_name] = stale
+            break
+    _ATTACHED[name] = segment
+    METRICS.count("shm.attached")
+    return segment
+
+
+def _segment_buffer(name: str):
+    """The raw buffer for ``name`` — owned mapping if we published it."""
+    owned = _LIVE.get(name)
+    if owned is not None:
+        return owned.shm.buf
+    return _attach(name).buf
+
+
+# Descriptors ---------------------------------------------------------------
+
+
+class PackedAccounts(Sequence[AccountID]):
+    """Account table decoded lazily from packed 20-byte IDs.
+
+    Shard computations rarely touch account *objects* (they work on the
+    factorized integer ids); this keeps ``len(dataset.accounts)`` and
+    occasional ``accounts[i]`` working in workers without constructing —
+    or pickling — one Python object per account up front.
+    """
+
+    __slots__ = ("_raw", "_cache")
+
+    def __init__(self, raw: np.ndarray):
+        self._raw = raw
+        self._cache: Dict[int, AccountID] = {}
+
+    def __len__(self) -> int:
+        return len(self._raw) // ACCOUNT_BYTES
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        found = self._cache.get(index)
+        if found is None:
+            start = index * ACCOUNT_BYTES
+            raw = bytes(self._raw[start:start + ACCOUNT_BYTES])
+            found = self._cache[index] = AccountID(raw)
+        return found
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """One shard as an address, not a payload.
+
+    ``(segment, start, stop)`` plus the string vocabularies is everything
+    a worker needs to rebuild a read-only :class:`TransactionDataset`
+    view over the shared columns.  ``__len__`` is the shard's row count,
+    so resume-journal plan fingerprints are identical to the ones the
+    pickled-slice strategy produced — checkpoints stay interchangeable.
+    """
+
+    segment: str
+    n_rows: int
+    start: int
+    stop: int
+    n_accounts: int
+    accounts_offset: int
+    currencies: Tuple[str, ...]
+    kind_vocab: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def materialize(self) -> TransactionDataset:
+        """Reconstruct the shard as zero-copy views into the segment."""
+        buf = _segment_buffer(self.segment)
+        layout, _total = column_layout(self.n_rows)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, dtype, offset in layout:
+            column = np.frombuffer(
+                buf, dtype=dtype, count=self.n_rows, offset=offset
+            )
+            column.flags.writeable = False
+            arrays[name] = column[self.start:self.stop]
+        raw = np.frombuffer(
+            buf,
+            dtype=np.uint8,
+            count=self.n_accounts * ACCOUNT_BYTES,
+            offset=self.accounts_offset,
+        )
+        raw.flags.writeable = False
+        return TransactionDataset(
+            accounts=PackedAccounts(raw),
+            currencies=list(self.currencies),
+            kind_vocab=list(self.kind_vocab),
+            **arrays,
+        )
+
+
+def materialize_shard(shard):
+    """Descriptor -> dataset; any other shard payload passes through."""
+    if isinstance(shard, ShardDescriptor):
+        return shard.materialize()
+    return shard
+
+
+class _DescriptorCall:
+    """Picklable adapter making any dataset shard function descriptor-aware.
+
+    ``shard_fn(figure3_shard_partial)`` is what the registry pickles to
+    workers: a couple hundred bytes referencing the module-level function,
+    materializing each shard on the worker side before applying it.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, shard):
+        return self.fn(materialize_shard(shard))
+
+
+def shard_fn(fn) -> _DescriptorCall:
+    return _DescriptorCall(fn)
+
+
+# Parent-side publishing ----------------------------------------------------
+
+
+class DatasetSegment:
+    """An owned shared-memory copy of one dataset's columns.
+
+    Created by :func:`publish`; hands out :class:`ShardDescriptor` row
+    ranges and unlinks the segment on :meth:`close` (idempotent, owner
+    process only — forked workers inherit the object but never the
+    responsibility to destroy it).
+    """
+
+    def __init__(self, dataset: TransactionDataset):
+        from multiprocessing import shared_memory
+
+        n = len(dataset)
+        layout, columns_bytes = column_layout(n)
+        accounts = dataset.accounts
+        accounts_offset = columns_bytes
+        total = columns_bytes + len(accounts) * ACCOUNT_BYTES
+        self.owner_pid = os.getpid()
+        self.name = f"{SEGMENT_PREFIX}-{self.owner_pid}-{next(_COUNTER)}"
+        self.shm = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(total, 1)
+        )
+        consolidate_columns(
+            {name: getattr(dataset, name) for name, _ in NUMERIC_COLUMNS},
+            n,
+            out=self.shm.buf,
+        )
+        packed = b"".join(account.raw for account in accounts)
+        self.shm.buf[accounts_offset:accounts_offset + len(packed)] = packed
+        self.n_rows = n
+        self.n_accounts = len(accounts)
+        self.accounts_offset = accounts_offset
+        self.currencies = tuple(dataset.currencies)
+        self.kind_vocab = tuple(dataset.kind_vocab)
+        self.nbytes = total
+        self._closed = False
+
+    def descriptor(self, start: int, stop: int) -> ShardDescriptor:
+        return ShardDescriptor(
+            segment=self.name,
+            n_rows=self.n_rows,
+            start=start,
+            stop=stop,
+            n_accounts=self.n_accounts,
+            accounts_offset=self.accounts_offset,
+            currencies=self.currencies,
+            kind_vocab=self.kind_vocab,
+        )
+
+    def close(self) -> None:
+        """Unlink and forget the segment (owner process only, idempotent)."""
+        if self._closed or os.getpid() != self.owner_pid:
+            return
+        self._closed = True
+        _LIVE.pop(self.name, None)
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view alive
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - swept concurrently
+            pass
+
+
+def publish(dataset: TransactionDataset) -> DatasetSegment:
+    """Copy ``dataset`` into a fresh shared segment owned by this process."""
+    sweep_stale_segments()
+    _install_cleanup()
+    with METRICS.timer("shm.publish"):
+        segment = DatasetSegment(dataset)
+    _LIVE[segment.name] = segment
+    METRICS.count("shm.published")
+    METRICS.count("shm.bytes", segment.nbytes)
+    return segment
+
+
+def shared_shards(dataset: TransactionDataset, n_shards: int) -> List:
+    """Shard ``dataset`` for the worker pool, zero-copy when possible.
+
+    The fallback ladder: a single-shard plan never publishes (the parent
+    computes it in process); a publish failure — no ``/dev/shm``, size
+    limits, permissions — degrades to the historical pickled-slice shards
+    with a counter, never an error.  Descriptors and slices merge
+    identically, so the ladder is invisible to results.
+    """
+    ranges = shard_ranges(len(dataset), n_shards)
+    if len(ranges) <= 1:
+        return [dataset.slice_rows(start, stop) for start, stop in ranges]
+    try:
+        segment = publish(dataset)
+    except Exception:
+        METRICS.count("shm.publish_failures")
+        return [dataset.slice_rows(start, stop) for start, stop in ranges]
+    return [segment.descriptor(start, stop) for start, stop in ranges]
+
+
+def release_shards(shards: Sequence) -> None:
+    """Unlink the segments behind ``shards`` (parent side, after merge)."""
+    names = {
+        shard.segment
+        for shard in shards
+        if isinstance(shard, ShardDescriptor)
+    }
+    for name in names:
+        segment = _LIVE.get(name)
+        if segment is not None:
+            segment.close()

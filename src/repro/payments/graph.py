@@ -60,48 +60,92 @@ class TrustGraph:
     def __init__(self, state: LedgerState, currency: Currency):
         self.state = state
         self.currency = currency
-        #: node -> (trust version at computation, materialized edges)
-        self._succ_cache: Dict[AccountID, Tuple[int, List[Edge]]] = {}
+        #: node -> (#ins lines, #outs lines, ins triples, outs pairs): the
+        #: *topology* of the node's incident lines.  Lines are only ever
+        #: appended (set_trust updates existing objects in place), so the
+        #: two list lengths fully identify the line set and the cached
+        #: reverse-line resolutions stay valid until a new line appears.
+        self._line_cache: Dict[AccountID, tuple] = {}
 
     def successors(self, payer: AccountID) -> Iterator[Edge]:
         """All accounts ``payer`` can push value to, with capacities."""
         if not USE_INDEX:
             return self._successors_scan(payer)
-        version = self.state.trust_version(payer, self.currency.code)
-        cached = self._succ_cache.get(payer)
-        if cached is not None and cached[0] == version:
-            return iter(cached[1])
-        edges = self._indexed_successors(payer)
-        self._succ_cache[payer] = (version, edges)
-        return iter(edges)
+        return (
+            Edge(payer, payee, capacity)
+            for payee, capacity in self.successor_pairs(payer)
+        )
 
-    def _indexed_successors(self, payer: AccountID) -> List[Edge]:
-        """Materialize ``payer``'s edges from the per-currency line index."""
+    def successor_pairs(self, payer: AccountID) -> List[Tuple[AccountID, float]]:
+        """``(payee, capacity)`` pairs — the path finder's hot interface.
+
+        Capacities are always read live from the trust lines' float caches
+        (balances change every payment); only the *line topology* — which
+        lines are incident and which reverse line pairs with each — is
+        cached, so the per-query cost is one float add per edge instead of
+        a keyed dictionary lookup and an :class:`Edge` allocation.  Edge
+        order is identical to the reference scan's: ins lines first, then
+        settle-only outs lines, each in line-creation order.
+        """
+        if not USE_INDEX:
+            return [
+                (edge.payee, edge.capacity)
+                for edge in self._successors_scan(payer)
+            ]
+        ins, outs = self._edge_lines(payer)
+        pairs: List[Tuple[AccountID, float]] = []
+        if outs:
+            seen: Set[AccountID] = set()
+            for payee, line, reverse in ins:
+                capacity = line._available_float
+                if reverse is not None:
+                    capacity += reverse._balance_float
+                if capacity > DUST:
+                    seen.add(payee)
+                    pairs.append((payee, capacity))
+            for payee, line in outs:
+                if payee in seen:
+                    continue
+                capacity = line._balance_float
+                if capacity > DUST:
+                    pairs.append((payee, capacity))
+        else:  # no settle-only edges: skip the seen-set bookkeeping
+            for payee, line, reverse in ins:
+                capacity = line._available_float
+                if reverse is not None:
+                    capacity += reverse._balance_float
+                if capacity > DUST:
+                    pairs.append((payee, capacity))
+        return pairs
+
+    def _edge_lines(self, payer: AccountID) -> tuple:
+        """Cached ``(ins triples, outs pairs)`` for ``payer``.
+
+        ``ins`` is ``(truster, line, reverse-or-None)`` per line trusting
+        ``payer``; ``outs`` is ``(trustee, line)`` per line ``payer``
+        extends.  Revalidated against the index list lengths: a new line
+        incident to ``payer`` (including a reverse line appearing later)
+        grows one of them, forcing a rebuild.
+        """
         code = self.currency.code
         index = self.state.currency_lines(code)
+        in_lines = index.ins.get(payer, ())
+        out_lines = index.outs.get(payer, ())
+        cached = self._line_cache.get(payer)
+        if (
+            cached is not None
+            and cached[0] == len(in_lines)
+            and cached[1] == len(out_lines)
+        ):
+            return cached[2], cached[3]
         trustlines = self.state.trustlines
-        edges: List[Edge] = []
-        seen: Set[AccountID] = set()
-        # The underscored float caches are read directly: property calls
-        # cost a Python frame each, and this loop runs per BFS expansion.
-        # New debt: lines where someone trusts `payer`.
-        for line in index.ins.get(payer, ()):
-            capacity = line._available_float
-            reverse = trustlines.get((payer, line.truster, code))
-            if reverse is not None:
-                capacity += reverse._balance_float
-            if capacity > DUST:
-                seen.add(line.truster)
-                edges.append(Edge(payer, line.truster, capacity))
-        # Pure settle edges: `payer` holds IOUs of a trustee who doesn't
-        # trust `payer` back.
-        for line in index.outs.get(payer, ()):
-            if line.trustee in seen:
-                continue
-            capacity = line._balance_float
-            if capacity > DUST:
-                edges.append(Edge(payer, line.trustee, capacity))
-        return edges
+        ins = [
+            (line.truster, line, trustlines.get((payer, line.truster, code)))
+            for line in in_lines
+        ]
+        outs = [(line.trustee, line) for line in out_lines]
+        self._line_cache[payer] = (len(in_lines), len(out_lines), ins, outs)
+        return ins, outs
 
     def _successors_scan(self, payer: AccountID) -> Iterator[Edge]:
         """Reference implementation: full scan of the payer's line lists."""

@@ -66,38 +66,40 @@ def shortest_path(
     paths of the same payment plan; hops with no remaining capacity are
     skipped.
     """
-    residual = residual or {}
     max_nodes = max_intermediate_hops + 2
     parents: Dict[AccountID, AccountID] = {source: source}
-    depth = {source: 0}
-    queue = deque([source])
+    # Depth rides along in the queue instead of a second dict: one fewer
+    # hashed write per discovered node in the hottest loop of the system.
+    queue = deque([(source, 0)])
     # Hot loop: bind methods once; every payment runs several BFS passes.
-    successors = graph.successors
+    successor_pairs = graph.successor_pairs
     can_relay = graph.can_relay
-    residual_get = residual.get
+    # The first BFS of every plan runs with no residual at all (nothing
+    # consumed yet); skipping the per-edge residual lookup there removes a
+    # tuple allocation and two hashes per expanded edge.
+    residual_get = residual.get if residual else None
     while queue:
-        node = queue.popleft()
-        node_depth = depth[node]
+        node, node_depth = queue.popleft()
         if node_depth + 1 >= max_nodes and node != target:
             continue
         if node != source and not can_relay(node):
             continue
         next_depth = node_depth + 1
-        for edge in successors(node):
-            nxt = edge.payee
+        for nxt, capacity in successor_pairs(node):
             if nxt in parents:
                 continue
-            if edge.capacity - residual_get((node, nxt), 0.0) <= DUST:
+            if residual_get is not None:
+                capacity -= residual_get((node, nxt), 0.0)
+            if capacity <= DUST:
                 continue
             parents[nxt] = node
-            depth[nxt] = next_depth
             if nxt == target:
                 path = [target]
                 while path[-1] != source:
                     path.append(parents[path[-1]])
                 path.reverse()
                 return path
-            queue.append(nxt)
+            queue.append((nxt, next_depth))
     return None
 
 

@@ -21,12 +21,16 @@ def _sha256(path) -> str:
     return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
-@pytest.mark.parametrize("command", ["fig3", "fig5", "population"])
-def test_cli_jobs4_matches_serial_bytes(command, tmp_path, capsys):
+@pytest.mark.parametrize("command", ["fig3", "fig5", "table2", "population"])
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_cli_sharded_matches_serial_bytes(command, jobs, tmp_path, capsys):
     serial = tmp_path / f"{command}-serial.txt"
-    sharded = tmp_path / f"{command}-jobs4.txt"
+    sharded = tmp_path / f"{command}-jobs{jobs}.txt"
     assert main([command, *SMALL, "--jobs", "1", "--out", str(serial)]) == 0
-    assert main([command, *SMALL, "--jobs", "4", "--out", str(sharded)]) == 0
+    assert (
+        main([command, *SMALL, "--jobs", str(jobs), "--out", str(sharded)])
+        == 0
+    )
     capsys.readouterr()
     assert serial.read_bytes() == sharded.read_bytes()
     assert _sha256(serial) == _sha256(sharded)

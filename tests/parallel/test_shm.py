@@ -1,0 +1,178 @@
+"""Shared-memory shard protocol: round-trip fidelity and lifecycle.
+
+Three promises under test:
+
+* a :class:`ShardDescriptor` materialized in any process reconstructs
+  exactly the rows ``slice_rows`` would have produced — for *every*
+  contiguous ``[start, stop)`` range (Hypothesis draws the cuts);
+* segments are never leaked: the owner unlinks on release, and a
+  ``kill -9`` orphan is reclaimed by the next run's stale sweep;
+* the warm worker pool actually persists — the second ``acquire`` with
+  the same shape returns the same executor, no respawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dataset import NUMERIC_COLUMNS
+from repro.parallel import pool
+from repro.parallel.shm import (
+    SHM_DIR,
+    ShardDescriptor,
+    publish,
+    release_shards,
+    shared_shards,
+    sweep_stale_segments,
+)
+
+needs_shm = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR), reason="no POSIX shared memory filesystem"
+)
+
+
+@pytest.fixture(scope="module")
+def published(dataset):
+    """The session dataset, published once into shared memory."""
+    segment = publish(dataset)
+    yield dataset, segment
+    segment.close()
+
+
+#: Settings for properties whose examples each rebuild numpy views over
+#: the published segment: cheap per example, fixture reuse is intended.
+shm_property = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@needs_shm
+@shm_property
+@given(cut_a=st.integers(0, 4_000), cut_b=st.integers(0, 4_000))
+def test_descriptor_roundtrips_any_slice(published, cut_a, cut_b):
+    dataset, segment = published
+    start, stop = sorted((min(cut_a, len(dataset)), min(cut_b, len(dataset))))
+    expected = dataset.slice_rows(start, stop)
+    shard = segment.descriptor(start, stop).materialize()
+
+    assert len(shard) == stop - start == len(expected)
+    for name, _dtype in NUMERIC_COLUMNS:
+        ours, theirs = getattr(shard, name), getattr(expected, name)
+        assert ours.dtype == theirs.dtype
+        assert np.array_equal(ours, theirs), name
+        assert not ours.flags.writeable  # read-only views, by contract
+    # The decoded string kinds agree too (codes + vocab round-trip).
+    assert list(shard.kinds) == list(expected.kinds)
+    assert shard.currencies == expected.currencies
+    # The account table is global: same length, same IDs where sampled.
+    assert len(shard.accounts) == len(dataset.accounts)
+    for index in {0, len(dataset.accounts) // 2, len(dataset.accounts) - 1}:
+        assert shard.accounts[index] == dataset.accounts[index]
+
+
+@needs_shm
+def test_descriptor_pickles_small_regardless_of_rows(published):
+    # The whole point: a shard travels as an address, not a payload.  The
+    # pickled slice of the same rows costs tens of kilobytes and grows
+    # with the dataset; the descriptor stays a few hundred bytes.
+    dataset, segment = published
+    descriptor = segment.descriptor(0, len(dataset))
+    assert len(pickle.dumps(descriptor)) < 2_000
+
+
+@needs_shm
+def test_shared_shards_ladder_and_release(dataset):
+    # Single-shard plans never publish: the parent computes in process.
+    [only] = shared_shards(dataset, 1)
+    assert not isinstance(only, ShardDescriptor)
+    assert len(only) == len(dataset)
+
+    shards = shared_shards(dataset, 4)
+    assert all(isinstance(shard, ShardDescriptor) for shard in shards)
+    assert sum(len(shard) for shard in shards) == len(dataset)
+    path = os.path.join(SHM_DIR, shards[0].segment)
+    assert os.path.exists(path)
+    release_shards(shards)
+    assert not os.path.exists(path)
+    release_shards(shards)  # idempotent
+
+
+@needs_shm
+def test_kill9_orphan_is_swept():
+    # A child publishes a segment, detaches it from its resource tracker
+    # (as a kill -9 of the whole tree would), then dies by SIGKILL — no
+    # cleanup handler runs.  The next sweep must reclaim the orphan.
+    code = textwrap.dedent(
+        """
+        import os, sys, time
+        from multiprocessing import resource_tracker, shared_memory
+
+        name = f"repro-shm-{os.getpid()}-orphan"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=64)
+        resource_tracker.unregister(shm._name, "shared_memory")
+        print(name, flush=True)
+        time.sleep(60)
+        """
+    )
+    child = subprocess.Popen(
+        [sys.executable, "-c", code], stdout=subprocess.PIPE, text=True
+    )
+    try:
+        name = child.stdout.readline().strip()
+        path = os.path.join(SHM_DIR, name)
+        assert os.path.exists(path)
+        # While the owner lives, the sweep must leave the segment alone.
+        assert name not in sweep_stale_segments()
+        assert os.path.exists(path)
+    finally:
+        child.kill()
+        child.wait()
+    assert name in sweep_stale_segments()
+    assert not os.path.exists(path)
+
+
+def test_warm_pool_persists_and_reshapes():
+    context = multiprocessing.get_context("fork")
+    pool.shutdown()
+    assert not pool.warm_pool_alive()
+
+    first = pool.acquire(2, context)
+    pool.release(first, 2, context)
+    assert pool.warm_pool_alive()
+
+    # Same shape: the exact executor comes back, workers and all.
+    again = pool.acquire(2, context)
+    assert again is first
+    pool.release(again, 2, context)
+
+    # Different worker count: not reusable, replaced by a fresh pool.
+    reshaped = pool.acquire(3, context)
+    assert reshaped is not first
+    pool.discard(reshaped)
+    assert not pool.warm_pool_alive()
+    pool.shutdown()  # idempotent
+
+
+def test_kind_codes_compat(dataset):
+    # Satellite contract: kinds live as int8 codes + vocab, while the
+    # historical string-array view stays available as a property.
+    assert dataset.kind_codes.dtype == np.int8
+    assert len(dataset.kind_vocab) <= 127
+    decoded = dataset.kinds
+    assert decoded.dtype == object
+    assert set(decoded) == set(dataset.kind_vocab)
+    window = dataset.slice_rows(10, 200)
+    assert window.kind_vocab == dataset.kind_vocab
+    assert list(window.kinds) == list(decoded[10:200])
