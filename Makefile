@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3
+.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3 serve-drill
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -19,6 +19,11 @@ bench-node:
 
 profile-fig3:
 	$(PYTHON) -m repro --profile fig3
+
+# Daemon contract check: concurrent dedup, byte-equivalence vs the CLI,
+# durable cache hits across a restart (see tools/serve_drill.py).
+serve-drill:
+	$(PYTHON) tools/serve_drill.py
 
 # fig3 with span tracing + run manifest, then schema-validate the manifest.
 trace-fig3:

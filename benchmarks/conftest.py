@@ -20,7 +20,7 @@ import pytest
 from repro import __version__
 from repro.analysis.dataset import TransactionDataset
 from repro.durability import atomic_write
-from repro.perf import PERF
+from repro.obs.metrics import METRICS
 from repro.synthetic.config import EconomyConfig
 from repro.synthetic.generator import generate_history
 
@@ -48,7 +48,7 @@ def _cached_history(config: EconomyConfig):
     is best-effort — *any* load failure (truncated pickle raising
     ``EOFError``/``UnpicklingError``, a stale class layout raising
     ``AttributeError``, plain I/O errors) counts as a cold cache, is noted
-    in :data:`repro.perf.PERF`, and the entry is regenerated and rewritten
+    in :data:`repro.obs.metrics.METRICS`, and the entry is regenerated and rewritten
     atomically (fsync + rename, so a killed bench run cannot poison the
     next one).
     """
@@ -61,7 +61,7 @@ def _cached_history(config: EconomyConfig):
             with open(path, "rb") as handle:
                 return pickle.load(handle)
         except Exception:
-            PERF.count("bench.cache_corrupt")
+            METRICS.count("bench.cache_corrupt")
             try:
                 os.remove(path)
             except OSError:

@@ -12,11 +12,13 @@ from repro.api.registry import (
     Artifact,
     ArtifactError,
     ArtifactResult,
+    ResultEnvelope,
     ShardedCompute,
     artifact,
     names,
     register,
 )
+from repro.api.request import ArtifactRequest, RequestError
 from repro.api import artifacts as _artifacts  # noqa: F401  (populates ARTIFACTS)
 from repro.api.artifacts import dataset_for, economy_config, history_for
 from repro.api.render import (
@@ -34,7 +36,10 @@ __all__ = [
     "ARTIFACTS",
     "Artifact",
     "ArtifactError",
+    "ArtifactRequest",
     "ArtifactResult",
+    "RequestError",
+    "ResultEnvelope",
     "ShardedCompute",
     "artifact",
     "dataset_for",

@@ -1,7 +1,8 @@
 """Built-in artifacts: the paper's figures and tables, registered.
 
-Each artifact is a ``(compute, render)`` pair over parsed CLI arguments;
-``compute`` returns a typed :class:`~repro.api.registry.ArtifactResult`
+Each artifact is a ``(compute, render)`` pair over a typed
+:class:`~repro.api.request.ArtifactRequest`; ``compute`` returns a typed
+:class:`~repro.api.registry.ArtifactResult`
 (``data`` plus optional manifest-bound ``metrics``).  Importing this
 module populates :data:`repro.api.registry.ARTIFACTS` with fig2–fig7 and
 table2; extension artifacts (e.g. the chaos report in
@@ -11,7 +12,6 @@ packages.
 
 from __future__ import annotations
 
-import argparse
 import sys
 from typing import List
 
@@ -47,6 +47,7 @@ from repro.api.registry import (
     ShardedCompute,
     register,
 )
+from repro.api.request import ArtifactRequest
 from repro.api.render import (
     render_figure2,
     render_figure3,
@@ -75,7 +76,7 @@ from repro.synthetic.generator import generate_history
 FIGURE5_POINTS = (1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6, 1e8, 1e10)
 
 
-def economy_config(args: argparse.Namespace) -> EconomyConfig:
+def economy_config(args: ArtifactRequest) -> EconomyConfig:
     """The synthetic-economy configuration encoded in the shared CLI flags."""
     return EconomyConfig(
         seed=args.seed,
@@ -85,7 +86,7 @@ def economy_config(args: argparse.Namespace) -> EconomyConfig:
     )
 
 
-def dataset_for(args: argparse.Namespace):
+def dataset_for(args: ArtifactRequest):
     """(history, dataset) for the shared flags; history is None for archives.
 
     Archive ingest honours the shared durability flags: strict by default
@@ -118,7 +119,7 @@ def dataset_for(args: argparse.Namespace):
         return history, TransactionDataset.from_records(history.records)
 
 
-def history_for(args: argparse.Namespace):
+def history_for(args: ArtifactRequest):
     """A full ledger history; rejects archive input (no ledger state)."""
     history, _ = dataset_for(args)
     if history is None:
@@ -131,7 +132,7 @@ def history_for(args: argparse.Namespace):
 # Shared sharding helpers ----------------------------------------------------
 
 
-def _dataset_context(args: argparse.Namespace) -> TransactionDataset:
+def _dataset_context(args: ArtifactRequest) -> TransactionDataset:
     """Parent-side prepare for dataset-based sharded artifacts."""
     return dataset_for(args)[1]
 
@@ -157,7 +158,7 @@ def _sequence_shards(items, n_shards: int) -> List:
 # fig2 ----------------------------------------------------------------------
 
 
-def _compute_fig2(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig2(args: ArtifactRequest) -> ArtifactResult:
     keys = [args.period] if getattr(args, "period", None) else [
         spec.key for spec in PERIODS
     ]
@@ -174,7 +175,7 @@ def _compute_fig2(args: argparse.Namespace) -> ArtifactResult:
     )
 
 
-def _render_fig2(reports: List[PeriodReport], _args: argparse.Namespace) -> str:
+def _render_fig2(reports: List[PeriodReport], _args: ArtifactRequest) -> str:
     return "\n\n".join(render_figure2(report) for report in reports)
 
 
@@ -189,7 +190,7 @@ register(
 # fig3 ----------------------------------------------------------------------
 
 
-def _compute_fig3(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig3(args: ArtifactRequest) -> ArtifactResult:
     gains = Deanonymizer(dataset_for(args)[1]).figure3()
     return ArtifactResult(data=gains, metrics={"feature_lists": len(gains)})
 
@@ -211,7 +212,7 @@ register(
 # fig4 ----------------------------------------------------------------------
 
 
-def _compute_fig4(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig4(args: ArtifactRequest) -> ArtifactResult:
     ranking = currency_ranking(dataset_for(args)[1])
     return ArtifactResult(data=ranking, metrics={"currencies": len(ranking)})
 
@@ -229,7 +230,7 @@ register(
 # fig5 ----------------------------------------------------------------------
 
 
-def _compute_fig5(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig5(args: ArtifactRequest) -> ArtifactResult:
     curves = figure5_curves(dataset_for(args)[1])
     return ArtifactResult(data=curves, metrics={"curves": len(curves)})
 
@@ -251,7 +252,7 @@ register(
 # fig6 ----------------------------------------------------------------------
 
 
-def _compute_fig6(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig6(args: ArtifactRequest) -> ArtifactResult:
     return ArtifactResult(data=path_structure(dataset_for(args)[1]))
 
 
@@ -266,7 +267,7 @@ register(
 # fig7 ----------------------------------------------------------------------
 
 
-def _compute_fig7(args: argparse.Namespace) -> ArtifactResult:
+def _compute_fig7(args: ArtifactRequest) -> ArtifactResult:
     history = history_for(args)
     profiles = top_intermediaries(history, getattr(args, "top", None) or 50)
     concentration = offer_concentration(history.offer_records)
@@ -276,7 +277,7 @@ def _compute_fig7(args: argparse.Namespace) -> ArtifactResult:
     )
 
 
-def _render_fig7(payload, _args: argparse.Namespace) -> str:
+def _render_fig7(payload, _args: ArtifactRequest) -> str:
     profiles, shares = payload
     rounded = {code: round(value, 3) for code, value in shares.items()}
     return (
@@ -296,7 +297,7 @@ register(
 # table2 --------------------------------------------------------------------
 
 
-def _compute_table2(args: argparse.Namespace) -> ArtifactResult:
+def _compute_table2(args: ArtifactRequest) -> ArtifactResult:
     return ArtifactResult(data=table2(history_for(args)))
 
 
@@ -320,7 +321,7 @@ register(
 # population ----------------------------------------------------------------
 
 
-def _compute_population(args: argparse.Namespace) -> ArtifactResult:
+def _compute_population(args: ArtifactRequest) -> ArtifactResult:
     dataset = _dataset_context(args)
     return ArtifactResult(
         data=(population_stats(dataset), monthly_volume(dataset)),

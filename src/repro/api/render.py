@@ -5,9 +5,9 @@ paper reports — counts per validator (Fig. 2), IG bars (Fig. 3), currency
 rankings (Fig. 4), survival samples (Fig. 5), path histograms (Fig. 6),
 hub profiles (Fig. 7), and Table II.
 
-(Renderers lived in :mod:`repro.analysis.report` before the artifact
-registry existed; that module now re-exports these names for backwards
-compatibility.)
+(Renderers lived in ``repro.analysis.report`` before the artifact
+registry existed; the deprecation shim there completed its cycle and was
+removed — import from here.)
 """
 
 from __future__ import annotations

@@ -10,9 +10,8 @@ dispatches through the same :mod:`repro.api` table as the figures.
 
 from __future__ import annotations
 
-import argparse
-
 from repro.api.registry import ArtifactResult, register
+from repro.api.request import ArtifactRequest
 from repro.chaos.drill import DrillReport, run_drill
 from repro.chaos.plan import PLANS
 
@@ -70,7 +69,7 @@ def render_chaos_report(report: DrillReport) -> str:
     return "\n".join(lines + ["", "Payments", payments])
 
 
-def _compute_chaos(args: argparse.Namespace) -> ArtifactResult:
+def _compute_chaos(args: ArtifactRequest) -> ArtifactResult:
     report = run_drill(
         getattr(args, "plan", "partition"),
         seed=args.seed,

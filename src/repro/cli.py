@@ -12,12 +12,17 @@
     python -m repro artifact fig3 --out fig3.txt --trace
     python -m repro metrics --artifact fig3 --format prom
     python -m repro manifest fig3.txt.manifest.json
+    python -m repro serve --socket /tmp/repro.sock   # artifact daemon
 
 Artifact commands (``fig2``–``fig7``, ``table2``, ``chaos``) dispatch
 through the :data:`repro.api.ARTIFACTS` registry — the CLI has no
 per-artifact logic of its own.  Every subcommand shares one flag set
 (``--seed/--scale/--out/--profile/--trace`` plus ``--payments/
---archive``) via a common parent parser.
+--archive``) via a common parent parser.  The parsed namespace never
+crosses the API boundary: each dispatch builds a typed
+:class:`~repro.api.request.ArtifactRequest` — the same object the
+``serve`` daemon decodes from a JSON body — and hands that to the
+registry.
 
 Observability (:mod:`repro.obs`) hangs off two flags: ``--trace [PATH]``
 collects a structured span trace and enables the metrics registry, and
@@ -36,7 +41,7 @@ import time
 from typing import List, Optional
 
 import repro.chaos.report  # noqa: F401  (registers the 'chaos' artifact)
-from repro.api import ARTIFACTS, artifact, economy_config
+from repro.api import ARTIFACTS, ArtifactRequest, artifact, economy_config
 from repro.durability import atomic_write
 from repro.errors import AnalysisError
 from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
@@ -47,6 +52,7 @@ from repro.obs.manifest import (
     deterministic_view,
     manifest_destination,
     output_entry,
+    request_fingerprint,
     validate_manifest,
     write_run_manifest,
 )
@@ -102,9 +108,15 @@ def cmd_artifact(args: argparse.Namespace) -> int:
         started_at = time.time()
         t0 = time.perf_counter()
         try:
+            # The parsed namespace stops here: computation and rendering
+            # run on the typed request — the same currency the serve
+            # daemon builds from a JSON body — and the manifest
+            # fingerprint is computed *before* any work starts.
+            request = ArtifactRequest.from_namespace(args, name=name)
+            fingerprint = request_fingerprint(request)
             entry = artifact(name)
-            result = entry.compute_payload(args)
-            text = entry.render_text(result, args)
+            result = entry.compute_payload(request)
+            text = entry.render_text(result, request)
         except AnalysisError as exc:  # ArtifactError/IntegrityError included
             print(f"{name}: {exc}", file=sys.stderr)
             return 2
@@ -131,7 +143,8 @@ def cmd_artifact(args: argparse.Namespace) -> int:
             )
         if observing:
             payload = build_manifest(
-                name, args, text, outputs, started_at, duration, result=result
+                name, request, text, outputs, started_at, duration,
+                result=result, fingerprint=fingerprint,
             )
             destination = manifest_destination(out_path or trace_path)
             write_run_manifest(destination, payload)
@@ -148,7 +161,8 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     name = getattr(args, "artifact", None)
     if name:
         try:
-            artifact(name).compute_payload(args)
+            request = ArtifactRequest.from_namespace(args, name=name)
+            artifact(name).compute_payload(request)
         except AnalysisError as exc:
             print(f"{name}: {exc}", file=sys.stderr)
             return 2
@@ -242,6 +256,32 @@ def cmd_bench_smoke(args: argparse.Namespace) -> int:
             "(worker pool is pure overhead here; ratio is not meaningful)"
         )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant artifact daemon until shutdown.
+
+    Binds a Unix socket (``--socket``) or TCP port (``--port``); each
+    connection carries one JSON request line and receives one envelope
+    line back.  Results are cached by manifest fingerprint in the
+    durable store (``--cache-dir``, default ``.repro-serve-cache``) and
+    identical in-flight requests share one computation.
+    """
+    from repro.serve.daemon import ArtifactServer, run_server
+
+    if not args.socket and not args.port:
+        print("serve: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    app = ArtifactServer(
+        cache_dir=getattr(args, "cache_dir", None),
+        default_jobs=getattr(args, "jobs", None),
+    )
+    return run_server(
+        app,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port or 0,
+    )
 
 
 def cmd_rewards(args: argparse.Namespace) -> int:
@@ -363,9 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--period", default=None,
                              choices=[s.key for s in PERIODS])
         elif name == "fig4":
-            sub.add_argument("--top", type=int, default=25)
+            # Default None, not 25: an explicit default would key the
+            # request fingerprint differently from an omitted flag.
+            # The renderer applies the paper's top-25 when unset.
+            sub.add_argument("--top", type=int, default=None)
         elif name == "fig7":
-            sub.add_argument("--top", type=int, default=50)
+            sub.add_argument("--top", type=int, default=None)
         elif name == "chaos":
             sub.add_argument("--plan", default="partition",
                              choices=sorted(PLANS),
@@ -412,6 +455,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub.add_argument("name", help="registered artifact name (see 'figures')")
     sub.set_defaults(func=cmd_artifact)
+
+    sub = subparsers.add_parser(
+        "serve", parents=[parent],
+        help="run the multi-tenant artifact daemon (manifest-keyed cache)",
+    )
+    sub.add_argument("--socket", default=None, metavar="PATH",
+                     help="bind a unix stream socket at PATH")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind address (with --port; default 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=None,
+                     help="bind a TCP port instead of a unix socket")
+    sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="durable result store root (default "
+                          ".repro-serve-cache or $REPRO_SERVE_CACHE)")
+    sub.set_defaults(func=cmd_serve)
 
     sub = subparsers.add_parser(
         "metrics", parents=[parent],

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import json
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -61,16 +60,6 @@ class IngestStats:
             METRICS.count(f"{name}.quarantined", self.quarantined)
             for reason, count in self.reasons.items():
                 METRICS.count(f"{name}.quarantined.{reason}", count)
-
-    def mirror_to_perf(self, name: str = "ingest") -> None:
-        """Deprecated alias for :meth:`mirror_to_metrics`."""
-        warnings.warn(
-            "IngestStats.mirror_to_perf is deprecated; "
-            "use mirror_to_metrics",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.mirror_to_metrics(name)
 
     def as_manifest_dict(self) -> Dict[str, object]:
         """The run-manifest ``ingest`` section for this read."""

@@ -40,6 +40,10 @@ from typing import Any, Dict, List, Optional
 #: Manifest schema version; bump when the payload layout changes.
 RUN_MANIFEST_VERSION = 1
 
+#: Request-fingerprint schema version; bump when the fingerprint
+#: document layout changes (old cache entries then miss, never collide).
+FINGERPRINT_SCHEMA_VERSION = 1
+
 #: Manifest sidecar suffix: ``fig3.txt`` -> ``fig3.txt.manifest.json``.
 RUN_MANIFEST_SUFFIX = ".manifest.json"
 
@@ -82,13 +86,8 @@ def manifest_destination(base_path: str) -> str:
     return f"{base_path}{RUN_MANIFEST_SUFFIX}"
 
 
-def output_entry(path: str, kind: str = "artifact", volatile: bool = False) -> dict:
-    """Describe one output file: path, sha256, byte size.
-
-    ``volatile`` marks outputs whose bytes legitimately differ between
-    equivalent runs (e.g. the trace file, which embeds wall-clock
-    timestamps); :func:`deterministic_view` skips them.
-    """
+def file_sha256(path: str) -> tuple:
+    """(sha256 hex digest, byte size) of the file at ``path``."""
     digest = hashlib.sha256()
     size = 0
     with open(path, "rb") as handle:
@@ -98,15 +97,74 @@ def output_entry(path: str, kind: str = "artifact", volatile: bool = False) -> d
                 break
             digest.update(chunk)
             size += len(chunk)
+    return digest.hexdigest(), size
+
+
+def output_entry(path: str, kind: str = "artifact", volatile: bool = False) -> dict:
+    """Describe one output file: path, sha256, byte size.
+
+    ``volatile`` marks outputs whose bytes legitimately differ between
+    equivalent runs (e.g. the trace file, which embeds wall-clock
+    timestamps); :func:`deterministic_view` skips them.
+    """
+    sha256, size = file_sha256(path)
     entry = {
         "path": os.path.abspath(path),
         "kind": kind,
-        "sha256": digest.hexdigest(),
+        "sha256": sha256,
         "bytes": size,
     }
     if volatile:
         entry["volatile"] = True
     return entry
+
+
+# Request fingerprints -------------------------------------------------------
+
+
+def input_hashes(request: Any) -> List[str]:
+    """Content hashes of every input archive a request reads.
+
+    The fingerprint keys on input *content*, not location: the same
+    archive reached through two paths is the same input, and a changed
+    archive at the same path is a different one.  A named archive that
+    does not exist fails here — **before** any computation starts —
+    with the same wording the ingest layer uses.
+    """
+    archive = getattr(request, "archive", None)
+    if not archive:
+        return []
+    if not os.path.exists(archive):
+        from repro.errors import AnalysisError
+
+        raise AnalysisError(f"archive not found: {archive}")
+    sha256, _size = file_sha256(archive)
+    return [f"sha256:{sha256}"]
+
+
+def request_fingerprint(
+    request: Any, inputs: Optional[List[str]] = None
+) -> str:
+    """The deterministic identity of one artifact request, computed pre-run.
+
+    A sha256 over the canonical fingerprint document: schema version,
+    artifact name, the request's :meth:`canonical_invocation` (semantic
+    parameters only — execution strategy excluded, defaults
+    normalized), and the content hashes of every input archive.  Two
+    requests that would render identical bytes by the repo's
+    serial/parallel/resume equivalence contract produce the identical
+    fingerprint; the serve cache and single-flight table key on it.
+    """
+    if inputs is None:
+        inputs = input_hashes(request)
+    document = {
+        "fingerprint_schema": FINGERPRINT_SCHEMA_VERSION,
+        "artifact": request.name,
+        "invocation": request.canonical_invocation(),
+        "inputs": list(inputs),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def build_manifest(
@@ -119,6 +177,7 @@ def build_manifest(
     tracer: Optional[Any] = None,
     metrics: Optional[Any] = None,
     result: Optional[Any] = None,
+    fingerprint: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest payload for one finished artifact run.
 
@@ -127,6 +186,9 @@ def build_manifest(
     ``artifact_extra``.  Both stay out of :func:`deterministic_view`:
     a sharded merge returns a bare payload (empty metrics) where the
     serial compute fills them, so they are strategy-dependent.
+    ``fingerprint`` is the pre-run :func:`request_fingerprint` — the
+    same value the serve cache keys on, so a manifest names the cache
+    entry its run would hit.
     """
     from repro.obs.metrics import METRICS
     from repro.obs.trace import TRACER
@@ -144,6 +206,7 @@ def build_manifest(
     payload: Dict[str, Any] = {
         "manifest_version": RUN_MANIFEST_VERSION,
         "artifact": artifact_name,
+        "fingerprint": fingerprint,
         "invocation": {
             "seed": getattr(args, "seed", None),
             "scale": getattr(args, "scale", None),
@@ -197,6 +260,7 @@ def deterministic_view(payload: Dict[str, Any]) -> Dict[str, Any]:
     }
     return {
         "artifact": payload.get("artifact"),
+        "fingerprint": payload.get("fingerprint"),
         "invocation": invocation,
         "spans": payload.get("spans"),
         "ingest": payload.get("ingest"),

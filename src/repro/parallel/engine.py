@@ -2,7 +2,7 @@
 
 Execution model for an artifact with a :class:`ShardedCompute` contract:
 
-1. ``prepare(args)`` runs in the parent (dataset build, replay, …);
+1. ``prepare(request)`` runs in the parent (dataset build, replay, …);
 2. ``shards(context, jobs)`` splits the context into contiguous shards —
    for dataset artifacts these are :class:`repro.parallel.shm.ShardDescriptor`
    handles over one shared-memory segment, a few hundred pickled bytes
@@ -45,7 +45,6 @@ absorbed into the parent registry when profiling is enabled, so
 
 from __future__ import annotations
 
-import argparse
 import multiprocessing
 import os
 import time
@@ -92,9 +91,14 @@ def shard_timeout() -> Optional[float]:
 
 
 def effective_jobs(
-    args: Optional[argparse.Namespace] = None, jobs: Optional[int] = None
+    args: Optional[Any] = None, jobs: Optional[int] = None
 ) -> int:
-    """Worker count after applying the kill switch and flag defaults."""
+    """Worker count after applying the kill switch and request defaults.
+
+    ``args`` is any request carrier with a ``jobs`` attribute — a typed
+    :class:`~repro.api.request.ArtifactRequest` on the production path,
+    or any attribute bag in tests/embeddings.
+    """
     if parallel_disabled():
         return 1
     if jobs is None:
@@ -104,7 +108,7 @@ def effective_jobs(
     return max(1, int(jobs))
 
 
-def _journal_for(artifact_name: str, args: argparse.Namespace, shards):
+def _journal_for(artifact_name: str, args: Any, shards):
     """The resume journal for this run, when ``--resume`` asked for one."""
     if not getattr(args, "resume", False):
         return None
@@ -120,7 +124,7 @@ def _journal_for(artifact_name: str, args: argparse.Namespace, shards):
     )
 
 
-def run_compute(artifact, args: argparse.Namespace) -> Any:
+def run_compute(artifact, args: Any) -> Any:
     """Compute an artifact's payload, sharding when possible and asked.
 
     The serial ``compute`` runs when the artifact has no sharded contract,

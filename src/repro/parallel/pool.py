@@ -26,6 +26,7 @@ children and by the next run's stale-segment sweep.
 from __future__ import annotations
 
 import atexit
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Tuple
 
@@ -33,6 +34,11 @@ from repro.obs.metrics import METRICS
 
 #: (start method, max workers) -> live executor; at most one entry.
 _WARM: Optional[Tuple[Tuple[str, int], ProcessPoolExecutor]] = None
+
+#: Serializes cache mutations: the serve daemon acquires/releases from
+#: concurrent request threads, and the check-then-take in :func:`acquire`
+#: must be atomic (two threads must never both take the same executor).
+_CACHE_LOCK = threading.Lock()
 
 _ATEXIT_INSTALLED = False
 
@@ -55,13 +61,14 @@ def acquire(jobs: int, mp_context) -> ProcessPoolExecutor:
     """
     global _WARM
     key = (mp_context.get_start_method(), jobs)
-    if _WARM is not None:
-        warm_key, executor = _WARM
-        if warm_key == key:
-            _WARM = None
-            METRICS.count("parallel.pool.reused")
-            return executor
-        shutdown()
+    with _CACHE_LOCK:
+        if _WARM is not None:
+            warm_key, executor = _WARM
+            if warm_key == key:
+                _WARM = None
+                METRICS.count("parallel.pool.reused")
+                return executor
+    shutdown()
     _install_atexit()
     METRICS.count("parallel.pool.spawned")
     with METRICS.timer("parallel.pool.spawn"):
@@ -71,12 +78,13 @@ def acquire(jobs: int, mp_context) -> ProcessPoolExecutor:
 def release(executor: ProcessPoolExecutor, jobs: int, mp_context) -> None:
     """Return a healthy pool to the warm cache for the next artifact."""
     global _WARM
-    if _WARM is not None:
-        # Another pool was cached while this one was out (nested use);
-        # keep the cached one, retire this one.
-        executor.shutdown(wait=True, cancel_futures=True)
-        return
-    _WARM = ((mp_context.get_start_method(), jobs), executor)
+    with _CACHE_LOCK:
+        if _WARM is None:
+            _WARM = ((mp_context.get_start_method(), jobs), executor)
+            return
+    # Another pool was cached while this one was out (nested or
+    # concurrent use); keep the cached one, retire this one.
+    executor.shutdown(wait=True, cancel_futures=True)
 
 
 def discard(executor: ProcessPoolExecutor) -> None:
@@ -103,9 +111,10 @@ def discard(executor: ProcessPoolExecutor) -> None:
 def shutdown() -> None:
     """Tear down the warm pool (idempotent; used by atexit and tests)."""
     global _WARM
-    if _WARM is None:
-        return
-    _warm, _WARM = _WARM, None
+    with _CACHE_LOCK:
+        if _WARM is None:
+            return
+        _warm, _WARM = _WARM, None
     _warm[1].shutdown(wait=True, cancel_futures=True)
 
 

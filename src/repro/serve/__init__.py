@@ -1,0 +1,37 @@
+"""repro.serve — the multi-tenant artifact server.
+
+Turns the batch CLI into a traffic-serving system while reusing every
+guarantee already built: requests are typed
+(:class:`~repro.api.request.ArtifactRequest`), identified by a
+deterministic manifest fingerprint computed *before* any work runs,
+served from a durable content-addressed cache
+(:class:`~repro.serve.store.ResultStore`, atomic writes + sha256
+sidecars), deduplicated while in flight
+(:class:`~repro.serve.singleflight.SingleFlight`), and computed through
+the same artifact registry — and the same persistent warm worker pool —
+the CLI uses.
+
+Start it with ``python -m repro serve --socket /tmp/repro.sock`` (or
+``--port N``) and talk to it with
+:class:`~repro.serve.client.ServeClient` or one JSON line over the
+socket.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.codec import CodecError, decode_request, encode_response
+from repro.serve.daemon import ArtifactServer, make_server, run_server
+from repro.serve.singleflight import SingleFlight
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "ArtifactServer",
+    "CodecError",
+    "ResultStore",
+    "ServeClient",
+    "ServeError",
+    "SingleFlight",
+    "decode_request",
+    "encode_response",
+    "make_server",
+    "run_server",
+]

@@ -1,0 +1,104 @@
+"""A tiny blocking client for the serve daemon (tests, drills, scripts).
+
+One call = one connection = one JSON line each way, mirroring the
+daemon's protocol exactly::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(socket_path="/tmp/repro.sock")
+    client.wait_ready()
+    response = client.artifact("fig3", seed=7, payments=4000)
+    assert response["status"] == "ok"
+    print(response["rendered_text"])
+
+The helper speaks both transports the daemon binds (Unix socket or
+TCP), and exposes the control ops (:meth:`ping`, :meth:`stats`,
+:meth:`shutdown`) the serve drill is built from.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import AnalysisError
+from repro.serve.codec import decode_response, encode_request
+
+
+class ServeError(AnalysisError):
+    """The daemon could not be reached or spoke garbage."""
+
+
+class ServeClient:
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 120.0,
+    ):
+        if not socket_path and not port:
+            raise ServeError("client needs a socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        if self.socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return sock
+
+    def call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the decoded response object."""
+        try:
+            with self._connect() as sock:
+                sock.sendall(encode_request(payload))
+                chunks = []
+                while True:
+                    chunk = sock.recv(1 << 16)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except OSError as exc:
+            raise ServeError(f"daemon unreachable: {exc}") from None
+        line = b"".join(chunks).decode("utf-8", errors="replace").strip()
+        if not line:
+            raise ServeError("daemon closed the connection without a response")
+        return decode_response(line)
+
+    def artifact(self, name: str, **fields: Any) -> Dict[str, Any]:
+        """Request one artifact; fields are ArtifactRequest fields/options."""
+        payload = {"op": "artifact", "artifact": name}
+        payload.update(fields)
+        return self.call(payload)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call({"op": "ping"})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call({"op": "shutdown"})
+
+    def wait_ready(self, attempts: int = 100, delay: float = 0.1) -> None:
+        """Block until the daemon answers a ping (startup races, drills)."""
+        last: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                if self.ping().get("status") == "ok":
+                    return
+            except (ServeError, OSError) as exc:
+                last = exc
+            time.sleep(delay)
+        raise ServeError(f"daemon never became ready: {last}")

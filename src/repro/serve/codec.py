@@ -1,0 +1,73 @@
+"""The serve wire codec: newline-delimited JSON, one request per line.
+
+The protocol is deliberately minimal — it has to be speakable from a
+shell (``echo '{"artifact":"fig3","seed":7}' | nc -U serve.sock``), from
+tests, and from the :mod:`repro.serve.client` helper alike:
+
+* the client sends **one line** of JSON: an object naming the artifact
+  (``"artifact"``) plus any :class:`~repro.api.request.ArtifactRequest`
+  fields, or a control operation (``{"op": "ping"}``, ``{"op":
+  "stats"}``, ``{"op": "shutdown"}``);
+* the server replies with **one line** of JSON — a
+  :class:`~repro.api.registry.ResultEnvelope` dict for artifact
+  requests, a small status object for control ops — and closes.
+
+Responses are serialized with sorted keys, so two equivalent responses
+are byte-identical — the property the serve drill asserts with sha256.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.request import ArtifactRequest, RequestError
+
+#: Request lines past this size are rejected before JSON parsing.
+MAX_LINE_BYTES = 1 << 20
+
+#: Control operations the daemon answers besides artifact requests.
+CONTROL_OPS = ("ping", "stats", "shutdown")
+
+
+class CodecError(RequestError):
+    """A wire line that cannot be decoded into a request."""
+
+
+def decode_request(line: str) -> Tuple[str, Optional[ArtifactRequest]]:
+    """``(op, request)`` from one wire line; request is None for control ops."""
+    if len(line) > MAX_LINE_BYTES:
+        raise CodecError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise CodecError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise CodecError("request must be a JSON object")
+    op = payload.pop("op", "artifact")
+    if op in CONTROL_OPS:
+        return op, None
+    if op != "artifact":
+        raise CodecError(
+            f"unknown op {op!r}; known: artifact, {', '.join(CONTROL_OPS)}"
+        )
+    return op, ArtifactRequest.from_dict(payload)
+
+
+def encode_request(payload: Dict[str, Any]) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def encode_response(payload: Dict[str, Any]) -> bytes:
+    """One deterministic response line (sorted keys, trailing newline)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_response(line: str) -> Dict[str, Any]:
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise CodecError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise CodecError("response must be a JSON object")
+    return payload

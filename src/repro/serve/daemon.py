@@ -1,0 +1,291 @@
+"""The ``repro serve`` daemon: many tenants, one registry, one cache.
+
+A long-running process that accepts concurrent artifact requests over a
+Unix or TCP socket and serves each one through a fixed pipeline:
+
+1. **decode** the JSON line into a typed
+   :class:`~repro.api.request.ArtifactRequest` (:mod:`repro.serve.codec`);
+2. **fingerprint** it *before* computing anything —
+   :func:`repro.obs.manifest.request_fingerprint` over the canonical
+   invocation plus input-archive content hashes;
+3. **cache lookup** in the durable :class:`~repro.serve.store.ResultStore`
+   — a hit returns the sealed envelope without touching the worker pool;
+4. **single-flight** on a miss — concurrent identical requests collapse
+   onto one computation (:mod:`repro.serve.singleflight`);
+5. **compute** through the same :data:`repro.api.ARTIFACTS` registry the
+   CLI uses — a request with ``jobs > 1`` schedules shards onto the
+   persistent warm worker pool (:mod:`repro.parallel.pool`), which stays
+   warm *across requests*;
+6. **seal** the envelope core into the store and respond.
+
+Request handling runs on a thread per connection
+(``socketserver.ThreadingMixIn``); computations themselves fan out to
+worker processes, so the GIL bounds only the serving overhead, not the
+compute.  Every stage ticks a ``serve.*`` metrics counter and logs a
+progress line, so ``{"op": "stats"}`` exposes hits/misses/computes for
+drills and dashboards.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api import artifact
+from repro.api.registry import ResultEnvelope
+from repro.api.request import ArtifactRequest
+from repro.errors import AnalysisError
+from repro.obs.manifest import file_sha256, request_fingerprint
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+from repro.serve.codec import (
+    MAX_LINE_BYTES,
+    CodecError,
+    decode_request,
+    encode_response,
+)
+from repro.serve.singleflight import SingleFlight
+from repro.serve.store import ResultStore
+
+
+class ArtifactServer:
+    """The request pipeline, independent of any transport.
+
+    Owns the durable store and the single-flight table; the socket
+    layer (:func:`make_server`) feeds it decoded lines and writes back
+    whatever it returns.  Tests drive :meth:`handle_request` directly.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        store: Optional[ResultStore] = None,
+        default_jobs: Optional[int] = None,
+        log=None,
+    ):
+        self.store = store if store is not None else ResultStore(cache_dir)
+        self.flights = SingleFlight()
+        self.default_jobs = default_jobs
+        self._log = log if log is not None else sys.stderr
+        METRICS.enable()
+        swept = self.store.sweep()
+        if swept:
+            self.log(f"swept {swept} stale temp file(s) from the store")
+
+    def log(self, message: str) -> None:
+        if self._log is not None:
+            print(f"serve: {message}", file=self._log, flush=True)
+
+    # Request pipeline --------------------------------------------------------
+
+    def handle_request(self, request: ArtifactRequest) -> Dict[str, Any]:
+        """One artifact request end to end; always returns an envelope dict."""
+        METRICS.count("serve.requests")
+        if self.default_jobs and request.jobs is None:
+            request = request.replace(jobs=self.default_jobs)
+        try:
+            fingerprint = request_fingerprint(request)
+        except AnalysisError as exc:
+            METRICS.count("serve.errors")
+            self.log(f"{request.name} rejected: {exc}")
+            return ResultEnvelope.failure(
+                request.name, None, str(exc)
+            ).to_dict()
+        cached = self._lookup(fingerprint)
+        if cached is not None:
+            METRICS.count("serve.cache.hits")
+            self.log(f"{request.name} {fingerprint[:12]} hit")
+            cached.cache = "hit"
+            return cached.to_dict()
+        METRICS.count("serve.cache.misses")
+        try:
+            core, shared = self.flights.do(
+                fingerprint, lambda: self._compute(request, fingerprint)
+            )
+        except Exception as exc:  # an error is a response, not a crash
+            METRICS.count("serve.errors")
+            self.log(f"{request.name} {fingerprint[:12]} failed: {exc}")
+            return ResultEnvelope.failure(
+                request.name, fingerprint, str(exc)
+            ).to_dict()
+        if shared:
+            METRICS.count("serve.singleflight.shared")
+        envelope = ResultEnvelope.from_dict(core)
+        envelope.cache = "miss"
+        return envelope.to_dict()
+
+    def _lookup(self, fingerprint: str) -> Optional[ResultEnvelope]:
+        """The cached envelope, or None; a malformed entry degrades to a miss."""
+        cached = self.store.get(fingerprint)
+        if cached is None:
+            return None
+        try:
+            return ResultEnvelope.from_dict(cached)
+        except AnalysisError:
+            METRICS.count("serve.store.corrupt")
+            self.store.evict(fingerprint)
+            return None
+
+    def _compute(
+        self, request: ArtifactRequest, fingerprint: str
+    ) -> Dict[str, Any]:
+        """Leader path: compute, render, seal.  Returns the envelope core."""
+        METRICS.count("serve.computes")
+        self.log(
+            f"{request.name} {fingerprint[:12]} miss — computing "
+            f"(jobs={request.jobs or 1})"
+        )
+        started = time.perf_counter()
+        entry = artifact(request.name)
+        with TRACER.span(f"serve.{request.name}", fingerprint=fingerprint[:12]):
+            result = entry.compute_payload(request)
+            text = entry.render_text(result, request)
+        output_hashes = [
+            file_sha256(path)[0]
+            for path in result.output_paths
+            if os.path.exists(path)
+        ]
+        envelope = ResultEnvelope.ok(
+            artifact=request.name,
+            fingerprint=fingerprint,
+            rendered_text=text,
+            output_sha256s=output_hashes,
+        )
+        core = envelope.core()
+        self.store.put(fingerprint, core)
+        elapsed = time.perf_counter() - started
+        METRICS.add_time("serve.compute", elapsed)
+        self.log(
+            f"{request.name} {fingerprint[:12]} computed in {elapsed:.2f}s "
+            f"-> {envelope.rendered_sha256[:12]}"
+        )
+        return core
+
+    # Control operations ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        snapshot = METRICS.snapshot()
+        counters = {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if name.startswith(("serve.", "parallel."))
+        }
+        return {
+            "status": "ok",
+            "op": "stats",
+            "pid": os.getpid(),
+            "counters": counters,
+            "cache_entries": len(self.store),
+            "in_flight": self.flights.in_flight(),
+        }
+
+    def ping(self) -> Dict[str, Any]:
+        from repro.api import names
+
+        return {
+            "status": "ok",
+            "op": "ping",
+            "pid": os.getpid(),
+            "artifacts": names(),
+        }
+
+    # Wire dispatch -----------------------------------------------------------
+
+    def respond(self, line: str) -> Tuple[bytes, bool]:
+        """(response bytes, shutdown?) for one decoded wire line."""
+        try:
+            op, request = decode_request(line)
+        except (CodecError, AnalysisError) as exc:
+            METRICS.count("serve.errors")
+            return encode_response({"status": "error", "error": str(exc)}), False
+        if op == "ping":
+            return encode_response(self.ping()), False
+        if op == "stats":
+            return encode_response(self.stats()), False
+        if op == "shutdown":
+            self.log("shutdown requested")
+            return (
+                encode_response({"status": "ok", "op": "shutdown"}),
+                True,
+            )
+        return encode_response(self.handle_request(request)), False
+
+
+# Socket layer ---------------------------------------------------------------
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        line = self.rfile.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            return
+        response, shutdown = self.server.app.respond(
+            line.decode("utf-8", errors="replace").strip()
+        )
+        self.wfile.write(response)
+        self.wfile.flush()
+        if shutdown:
+            # shutdown() blocks until serve_forever exits; calling it from
+            # the handler thread directly would deadlock the accept loop.
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+
+
+class _ThreadingTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+
+    class _ThreadingUnixServer(
+        socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+    ):
+        daemon_threads = True
+
+
+def make_server(
+    app: ArtifactServer,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+):
+    """A threading socket server bound to a Unix socket or TCP port."""
+    if socket_path:
+        if not hasattr(socketserver, "UnixStreamServer"):
+            raise AnalysisError("unix sockets are unavailable on this platform")
+        if os.path.exists(socket_path):
+            os.remove(socket_path)
+        server = _ThreadingUnixServer(socket_path, _Handler)
+    else:
+        server = _ThreadingTCPServer((host, port), _Handler)
+    server.app = app
+    return server
+
+
+def run_server(
+    app: ArtifactServer,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> int:
+    """Serve until shutdown (op or Ctrl-C); returns an exit status."""
+    server = make_server(app, socket_path=socket_path, host=host, port=port)
+    where = socket_path or "%s:%d" % server.server_address[:2]
+    app.log(f"listening on {where} (cache {app.store.root})")
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        app.log("interrupted")
+    finally:
+        server.server_close()
+        if socket_path and os.path.exists(socket_path):
+            try:
+                os.remove(socket_path)
+            except OSError:
+                pass
+    app.log("stopped")
+    return 0

@@ -1,0 +1,84 @@
+"""Single-flight deduplication: N identical in-flight requests, 1 compute.
+
+The serve daemon handles requests on concurrent threads; without
+coordination, two tenants asking for the same fingerprint milliseconds
+apart would both schedule the (expensive, deterministic, identical)
+computation.  :class:`SingleFlight` collapses them: the first caller for
+a key becomes the **leader** and runs the function; every caller that
+arrives while the leader is in flight becomes a **follower** and blocks
+on the leader's result — the very same envelope object, so follower
+responses are byte-identical to the leader's.
+
+A leader that raises propagates the same exception to every follower
+(an error is a result too; each caller turns it into an error
+envelope).  The flight table entry is removed *before* followers wake,
+so a retry of the same key after a failure starts a fresh flight —
+failures are never cached here or in the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class _Flight:
+    __slots__ = ("event", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """A table of in-flight computations keyed by request fingerprint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[str, _Flight] = {}
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def waiting(self, key: str) -> int:
+        """Followers currently blocked on ``key`` (0 if no flight)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            return flight.waiters if flight is not None else 0
+
+    def do(self, key: str, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent burst of ``key``.
+
+        Returns ``(value, shared)``: ``shared`` is False for the leader
+        that actually executed ``fn`` and True for followers that were
+        handed the leader's result.  Re-raises the leader's exception in
+        every caller.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            else:
+                flight.waiters += 1
+        if leader:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                # Unlink before waking followers: a later request for the
+                # same key must start fresh, not join a finished flight.
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+            return flight.value, False
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, True

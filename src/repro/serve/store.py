@@ -1,0 +1,120 @@
+"""The durable, content-addressed result store behind ``repro serve``.
+
+One cache entry per request fingerprint: the envelope core
+(:meth:`repro.api.registry.ResultEnvelope.core`) as canonical JSON at
+``<root>/<fp[:2]>/<fp>.json``, written through
+:func:`repro.durability.atomic_write` with a ``.sha256`` sidecar.  The
+durability layer's guarantees carry over wholesale:
+
+* a ``kill -9`` mid-write leaves either no entry or a complete sealed
+  entry — never a torn one; at worst a ``*.tmp.*`` sibling survives,
+  which :meth:`ResultStore.sweep` (run at daemon startup) reclaims;
+* every read verifies the sidecar hash; an entry whose bytes rotted on
+  disk raises :class:`~repro.errors.IntegrityError` inside
+  :meth:`ResultStore.get`, which **degrades to a miss**: the corrupt
+  pair is deleted, a counter ticks, and the daemon recomputes.
+
+The store never caches errors — only ``status == "ok"`` envelopes are
+accepted by :meth:`put` — so a transient failure can't poison a
+fingerprint forever.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+from repro.durability.atomic import atomic_write, verify_manifest
+from repro.errors import IntegrityError
+from repro.obs.metrics import METRICS
+
+#: Default cache root; ``--cache-dir`` / ``REPRO_SERVE_CACHE`` override.
+DEFAULT_CACHE_DIR = ".repro-serve-cache"
+
+CACHE_DIR_ENV = "REPRO_SERVE_CACHE"
+
+ENTRY_FORMAT = "repro-serve-result/1"
+
+
+def cache_root(override: Optional[str] = None) -> str:
+    return override or os.environ.get(CACHE_DIR_ENV, "") or DEFAULT_CACHE_DIR
+
+
+class ResultStore:
+    """Fingerprint-keyed envelope cache with integrity-checked reads."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = cache_root(root)
+
+    def path_for(self, fingerprint: str) -> str:
+        return os.path.join(
+            self.root, fingerprint[:2], f"{fingerprint}.json"
+        )
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached envelope core, or None (missing *or* corrupt).
+
+        Corruption — bytes disagreeing with the sha256 sidecar, a
+        missing sidecar, or unparseable JSON — is counted, the broken
+        pair is removed, and the caller sees an ordinary miss: a rotted
+        cache entry costs one recompute, never a wrong answer and never
+        the request.
+        """
+        path = self.path_for(fingerprint)
+        if not os.path.exists(path):
+            return None
+        try:
+            verify_manifest(path, required=True)
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise IntegrityError(f"{path}: entry is not an object")
+        except (IntegrityError, OSError, ValueError):
+            METRICS.count("serve.store.corrupt")
+            self.evict(fingerprint)
+            return None
+        return payload
+
+    def put(self, fingerprint: str, envelope: Dict[str, Any]) -> None:
+        """Seal one computed envelope core under its fingerprint."""
+        if envelope.get("status") != "ok":
+            return  # errors are never cached
+        path = self.path_for(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with atomic_write(path, manifest=True, fmt=ENTRY_FORMAT) as handle:
+            handle.write(
+                json.dumps(envelope, sort_keys=True, indent=2) + "\n"
+            )
+        METRICS.count("serve.store.stored")
+
+    def evict(self, fingerprint: str) -> None:
+        path = self.path_for(fingerprint)
+        for victim in (path, f"{path}.sha256"):
+            try:
+                os.remove(victim)
+            except OSError:
+                pass
+
+    def sweep(self) -> int:
+        """Remove stale ``*.tmp.*`` leftovers of killed writes (startup)."""
+        swept = 0
+        pattern = os.path.join(glob.escape(self.root), "**", "*.tmp.*")
+        for stale in glob.glob(pattern, recursive=True):
+            try:
+                os.remove(stale)
+                swept += 1
+            except OSError:
+                pass
+        if swept:
+            METRICS.count("serve.store.swept_temps", swept)
+        return swept
+
+    def fingerprints(self) -> Iterator[str]:
+        pattern = os.path.join(glob.escape(self.root), "??", "*.json")
+        for path in sorted(glob.glob(pattern)):
+            yield os.path.basename(path)[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())

@@ -44,13 +44,20 @@ class TestRegistry:
             del ARTIFACTS["_tmp"]
 
 
-class TestDeprecatedAliases:
-    def test_analysis_report_reexports_api_render(self):
-        import warnings
+class TestRemovedShims:
+    """The PR-5 deprecation shims finished their cycle and are gone."""
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.analysis import report as old
+    def test_perf_shim_removed(self):
+        import importlib.util
+
+        assert importlib.util.find_spec("repro.perf") is None
+
+    def test_analysis_report_shim_removed(self):
+        import importlib.util
+
+        assert importlib.util.find_spec("repro.analysis.report") is None
+
+    def test_renderers_live_in_api_render(self):
         from repro.api import render as new
 
         for name in (
@@ -58,27 +65,7 @@ class TestDeprecatedAliases:
             "render_figure5", "render_figure6", "render_figure7",
             "render_table2",
         ):
-            assert getattr(old, name) is getattr(new, name)
-
-    def test_analysis_report_import_warns(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.analysis.report", None)
-        with pytest.warns(DeprecationWarning, match="repro.analysis.report"):
-            importlib.import_module("repro.analysis.report")
-
-    def test_perf_shim_import_warns(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.perf", None)
-        with pytest.warns(DeprecationWarning, match="repro.perf"):
-            shim = importlib.import_module("repro.perf")
-        from repro.obs.metrics import METRICS, MetricsRegistry
-
-        assert shim.PERF is METRICS
-        assert shim.PerfRegistry is MetricsRegistry
+            assert callable(getattr(new, name))
 
 
 class TestCliDispatch:

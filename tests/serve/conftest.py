@@ -1,0 +1,17 @@
+"""Shared fixtures for the serve-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    """Serve components tick the global registry; isolate each test."""
+    METRICS.reset()
+    METRICS.enable()
+    yield
+    METRICS.disable()
+    METRICS.reset()

@@ -1,0 +1,279 @@
+"""The serve pipeline end to end: cache, single-flight, sockets."""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import ARTIFACTS, register
+from repro.api.request import ArtifactRequest
+from repro.errors import AnalysisError
+from repro.obs.manifest import request_fingerprint
+from repro.obs.metrics import METRICS
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ArtifactServer, make_server
+from repro.serve.store import ResultStore
+
+
+@pytest.fixture
+def servetest():
+    """A cheap registered artifact with an observable, gateable compute."""
+    state = SimpleNamespace(
+        calls=0,
+        gate=threading.Event(),
+        started=threading.Event(),
+        fail=False,
+        jobs_seen=[],
+    )
+    state.gate.set()  # non-blocking unless a test clears it
+
+    def compute(request):
+        state.calls += 1
+        state.jobs_seen.append(request.jobs)
+        state.started.set()
+        state.gate.wait(5)
+        if state.fail:
+            raise AnalysisError("synthetic failure")
+        return request.seed * 2
+
+    register(
+        "_servetest",
+        "serve-layer test artifact",
+        compute,
+        lambda payload, request: f"value={payload}",
+    )
+    yield state
+    del ARTIFACTS["_servetest"]
+
+
+def _server(tmp_path, **kwargs) -> ArtifactServer:
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("log", io.StringIO())
+    return ArtifactServer(**kwargs)
+
+
+def _sha(envelope: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(envelope, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _spin_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.005)
+
+
+class TestPipeline:
+    def test_miss_then_hit(self, tmp_path, servetest):
+        server = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        first = server.handle_request(request)
+        assert first["status"] == "ok"
+        assert first["cache"] == "miss"
+        assert first["rendered_text"] == "value=14"
+        assert first["fingerprint"] == request_fingerprint(request)
+        second = server.handle_request(request)
+        assert second["cache"] == "hit"
+        assert servetest.calls == 1
+        counters = METRICS.counters
+        assert counters["serve.requests"] == 2
+        assert counters["serve.computes"] == 1
+        assert counters["serve.cache.misses"] == 1
+        assert counters["serve.cache.hits"] == 1
+
+    def test_hit_and_miss_share_the_deterministic_core(self, tmp_path, servetest):
+        """Only the transport ``cache`` annotation may differ."""
+        server = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        miss = server.handle_request(request)
+        hit = server.handle_request(request)
+        miss.pop("cache"), hit.pop("cache")
+        assert _sha(miss) == _sha(hit)
+
+    def test_concurrent_duplicates_compute_once(self, tmp_path, servetest):
+        server = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        fingerprint = request_fingerprint(request)
+        servetest.gate.clear()
+        responses = []
+
+        def fire():
+            responses.append(server.handle_request(request))
+
+        leader = threading.Thread(target=fire)
+        leader.start()
+        servetest.started.wait(5)
+        follower = threading.Thread(target=fire)
+        follower.start()
+        _spin_until(lambda: server.flights.waiting(fingerprint) == 1)
+        servetest.gate.set()
+        leader.join(5)
+        follower.join(5)
+        assert servetest.calls == 1
+        assert len(responses) == 2
+        assert _sha(responses[0]) == _sha(responses[1])
+        assert METRICS.counters["serve.computes"] == 1
+        assert METRICS.counters["serve.singleflight.shared"] == 1
+
+    def test_cache_hit_after_restart(self, tmp_path, servetest):
+        """The store is durable: a fresh daemon serves yesterday's result."""
+        first = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=9)
+        cold = first.handle_request(request)
+        restarted = _server(tmp_path)
+        warm = restarted.handle_request(request)
+        assert warm["cache"] == "hit"
+        assert warm["rendered_text"] == cold["rendered_text"]
+        assert warm["rendered_sha256"] == cold["rendered_sha256"]
+        assert servetest.calls == 1
+        # a hit never schedules work, so the warm pool stays untouched
+        assert not any(
+            name.startswith("parallel.pool.") for name in METRICS.counters
+        )
+
+    def test_corrupt_entry_degrades_to_recompute(self, tmp_path, servetest):
+        server = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        server.handle_request(request)
+        path = server.store.path_for(request_fingerprint(request))
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.seek(0)
+            handle.write("X")
+        again = server.handle_request(request)
+        assert again["status"] == "ok"
+        assert again["cache"] == "miss"
+        assert servetest.calls == 2
+        assert METRICS.counters["serve.store.corrupt"] == 1
+        # the recompute resealed the entry; the next request hits again
+        assert server.handle_request(request)["cache"] == "hit"
+
+    def test_default_jobs_fill_in_without_changing_identity(
+        self, tmp_path, servetest
+    ):
+        server = _server(tmp_path, default_jobs=3)
+        response = server.handle_request(ArtifactRequest(name="_servetest"))
+        assert response["status"] == "ok"
+        assert servetest.jobs_seen == [3]
+        assert response["fingerprint"] == request_fingerprint(
+            ArtifactRequest(name="_servetest")
+        )
+
+
+class TestErrors:
+    def test_unknown_artifact_is_an_error_envelope(self, tmp_path):
+        server = _server(tmp_path)
+        response = server.handle_request(ArtifactRequest(name="_absent"))
+        assert response["status"] == "error"
+        assert "unknown artifact" in response["error"]
+        assert len(server.store) == 0
+        assert METRICS.counters["serve.errors"] == 1
+
+    def test_missing_archive_rejected_before_compute(self, tmp_path, servetest):
+        server = _server(tmp_path)
+        response = server.handle_request(
+            ArtifactRequest(name="_servetest", archive=str(tmp_path / "no.gz"))
+        )
+        assert response["status"] == "error"
+        assert "archive not found" in response["error"]
+        assert servetest.calls == 0
+
+    def test_failures_are_not_cached(self, tmp_path, servetest):
+        server = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        servetest.fail = True
+        failed = server.handle_request(request)
+        assert failed["status"] == "error"
+        assert len(server.store) == 0
+        servetest.fail = False
+        retried = server.handle_request(request)
+        assert retried["status"] == "ok"
+        assert servetest.calls == 2
+
+    def test_malformed_wire_lines_get_error_responses(self, tmp_path):
+        server = _server(tmp_path)
+        for line in ("not json", "[1, 2]", '{"op": "bogus"}',
+                     '{"artifact": "x", "sede": 7}'):
+            payload, shutdown = server.respond(line)
+            assert not shutdown
+            assert json.loads(payload)["status"] == "error"
+
+
+class TestStartup:
+    def test_startup_sweeps_stale_temp_files(self, tmp_path, servetest):
+        """A daemon killed mid-write leaves no debris for its successor."""
+        root = tmp_path / "cache"
+        first = _server(tmp_path)
+        request = ArtifactRequest(name="_servetest", seed=7)
+        first.handle_request(request)
+        shard = root / next(first.store.fingerprints())[:2]
+        stale = shard / "deadbeef.json.tmp.999"
+        stale.write_text("torn write")
+        _server(tmp_path)  # restart sweeps at init
+        assert not stale.exists()
+        assert METRICS.counters["serve.store.swept_temps"] == 1
+
+    def test_injected_store_is_used_as_is(self, tmp_path, servetest):
+        store = ResultStore(str(tmp_path / "elsewhere"))
+        server = ArtifactServer(store=store, log=io.StringIO())
+        server.handle_request(ArtifactRequest(name="_servetest"))
+        assert len(store) == 1
+
+
+class TestSockets:
+    def test_tcp_round_trip(self, tmp_path, servetest):
+        app = _server(tmp_path)
+        server = make_server(app, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        thread.start()
+        try:
+            client = ServeClient(port=port, timeout=10)
+            client.wait_ready(attempts=50, delay=0.05)
+            ping = client.ping()
+            assert ping["status"] == "ok"
+            assert "_servetest" in ping["artifacts"]
+            response = client.artifact("_servetest", seed=21)
+            assert response["status"] == "ok"
+            assert response["rendered_text"] == "value=42"
+            assert client.artifact("_servetest", seed=21)["cache"] == "hit"
+            stats = client.stats()
+            assert stats["counters"]["serve.computes"] == 1
+            assert stats["cache_entries"] == 1
+            assert client.shutdown()["status"] == "ok"
+        finally:
+            server.shutdown()
+            thread.join(5)
+            server.server_close()
+
+    def test_unix_socket_round_trip(self, tmp_path, servetest):
+        socket_path = str(tmp_path / "serve.sock")
+        app = _server(tmp_path)
+        try:
+            server = make_server(app, socket_path=socket_path)
+        except AnalysisError:
+            pytest.skip("unix sockets unavailable on this platform")
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        thread.start()
+        try:
+            client = ServeClient(socket_path=socket_path, timeout=10)
+            client.wait_ready(attempts=50, delay=0.05)
+            assert client.artifact("_servetest", seed=5)["rendered_text"] == (
+                "value=10"
+            )
+        finally:
+            server.shutdown()
+            thread.join(5)
+            server.server_close()

@@ -1,0 +1,101 @@
+"""Single-flight deduplication under real thread concurrency."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def _spin_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.005)
+
+
+class TestSingleFlight:
+    def test_sequential_calls_each_execute(self):
+        flights = SingleFlight()
+        calls = []
+        for i in range(3):
+            value, shared = flights.do("k", lambda i=i: calls.append(i) or i)
+            assert value == i and not shared
+        assert calls == [0, 1, 2]
+        assert flights.in_flight() == 0
+
+    def test_concurrent_burst_runs_the_function_once(self):
+        flights = SingleFlight()
+        gate = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            gate.wait(5)
+            return "payload"
+
+        results = []
+
+        def request():
+            results.append(flights.do("k", compute))
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        _spin_until(lambda: flights.in_flight() == 1)
+        followers = [threading.Thread(target=request) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        _spin_until(lambda: flights.waiting("k") == 3)
+        gate.set()
+        leader.join(5)
+        for thread in followers:
+            thread.join(5)
+        assert len(calls) == 1
+        assert all(value == "payload" for value, _ in results)
+        assert sorted(shared for _, shared in results) == [False, True, True, True]
+        assert flights.in_flight() == 0
+
+    def test_leader_error_propagates_to_followers(self):
+        flights = SingleFlight()
+        gate = threading.Event()
+        outcomes = []
+
+        def compute():
+            gate.wait(5)
+            raise ValueError("boom")
+
+        def request():
+            try:
+                flights.do("k", compute)
+                outcomes.append("ok")
+            except ValueError as exc:
+                outcomes.append(str(exc))
+
+        leader = threading.Thread(target=request)
+        leader.start()
+        _spin_until(lambda: flights.in_flight() == 1)
+        follower = threading.Thread(target=request)
+        follower.start()
+        _spin_until(lambda: flights.waiting("k") == 1)
+        gate.set()
+        leader.join(5)
+        follower.join(5)
+        assert outcomes == ["boom", "boom"]
+
+    def test_failures_are_not_cached(self):
+        """A retry after a failed flight starts fresh and can succeed."""
+        flights = SingleFlight()
+        with pytest.raises(RuntimeError):
+            flights.do("k", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        value, shared = flights.do("k", lambda: 42)
+        assert value == 42 and not shared
+
+    def test_distinct_keys_do_not_collide(self):
+        flights = SingleFlight()
+        assert flights.do("a", lambda: 1)[0] == 1
+        assert flights.do("b", lambda: 2)[0] == 2
+        assert flights.waiting("a") == 0

@@ -1,0 +1,101 @@
+"""The durable result store: sealed writes, verified reads, sweeps."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import METRICS
+from repro.serve.store import ResultStore
+
+OK_CORE = {
+    "status": "ok",
+    "artifact": "fig3",
+    "fingerprint": "ab" * 32,
+    "rendered_text": "value=42",
+    "rendered_sha256": "cd" * 32,
+    "output_sha256s": [],
+    "error": None,
+    "envelope_version": 1,
+}
+
+FP = "ab" * 32
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        assert store.get(FP) == OK_CORE
+        assert len(store) == 1
+        assert list(store.fingerprints()) == [FP]
+
+    def test_entry_is_sealed_with_a_sidecar(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        path = store.path_for(FP)
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".sha256")
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        assert store.get(FP) is None
+
+    def test_errors_are_never_cached(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, {"status": "error", "artifact": "fig3", "error": "boom"})
+        assert store.get(FP) is None
+        assert len(store) == 0
+
+    def test_survives_a_new_instance_on_the_same_root(self, tmp_path):
+        root = str(tmp_path / "cache")
+        ResultStore(root).put(FP, OK_CORE)
+        assert ResultStore(root).get(FP) == OK_CORE
+
+
+class TestCorruption:
+    def test_rotted_bytes_degrade_to_a_miss_and_evict(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        path = store.path_for(FP)
+        with open(path, "r+", encoding="utf-8") as handle:
+            handle.seek(0)
+            handle.write("X")
+        assert store.get(FP) is None
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".sha256")
+        assert METRICS.counters.get("serve.store.corrupt") == 1
+
+    def test_missing_sidecar_degrades_to_a_miss(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        os.remove(store.path_for(FP) + ".sha256")
+        assert store.get(FP) is None
+
+    def test_corrupt_entry_can_be_resealed(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        with open(store.path_for(FP), "a", encoding="utf-8") as handle:
+            handle.write("garbage")
+        assert store.get(FP) is None
+        store.put(FP, OK_CORE)
+        assert store.get(FP) == OK_CORE
+
+
+class TestSweep:
+    def test_sweep_reclaims_killed_writes(self, tmp_path):
+        """A kill -9 mid-write leaves only ``*.tmp.*`` siblings behind."""
+        root = tmp_path / "cache"
+        store = ResultStore(str(root))
+        store.put(FP, OK_CORE)
+        shard = root / FP[:2]
+        stale = shard / f"{FP}.json.tmp.12345"
+        stale.write_text("half-written")
+        assert store.sweep() == 1
+        assert not stale.exists()
+        assert store.get(FP) == OK_CORE  # sealed entries are untouched
+        assert METRICS.counters.get("serve.store.swept_temps") == 1
+
+    def test_sweep_on_a_clean_store_is_a_noop(self, tmp_path):
+        store = ResultStore(str(tmp_path / "cache"))
+        store.put(FP, OK_CORE)
+        assert store.sweep() == 0
