@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 from typing import Dict, Optional
@@ -125,12 +126,17 @@ def write_result(
         # A corrupt result file (truncated JSON, a crash mid-write before
         # writes were atomic, …) is a cold cache, never a crash: the
         # baseline restarts from the current numbers and the file is
-        # rewritten whole below.
+        # rewritten whole below.  Only load failures degrade — anything
+        # else (a logic error here) must still propagate.
         try:
             previous = json.loads(path.read_text())
-        except Exception:
+        except (OSError, ValueError) as exc:
             previous = None
-            METRICS.count("bench.result_corrupt")
+            METRICS.count("bench.history_load_failures")
+            print(
+                f"bench: discarding unreadable history {path}: {exc}",
+                file=sys.stderr,
+            )
         if (
             isinstance(previous, dict)
             and previous.get("kind") == kind

@@ -35,9 +35,18 @@ from repro.chaos.plan import (
     random_plan,
 )
 from repro.chaos.report import render_chaos_report
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ScenarioPack,
+    ScenarioReport,
+    drill_scenarios,
+    render_fork_threshold,
+    run_scenario,
+)
 
 __all__ = [
     "PLANS",
+    "SCENARIOS",
     "ByzantineFault",
     "ChaosInjector",
     "CrashFault",
@@ -46,11 +55,16 @@ __all__ = [
     "FaultPlan",
     "MessageFault",
     "PartitionFault",
+    "ScenarioPack",
+    "ScenarioReport",
     "StreamFault",
     "ValidatorHealth",
     "Window",
     "build_plan",
+    "drill_scenarios",
     "random_plan",
     "render_chaos_report",
+    "render_fork_threshold",
     "run_drill",
+    "run_scenario",
 ]

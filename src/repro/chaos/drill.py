@@ -14,7 +14,7 @@ closes, stream reconnects, deduplicated replays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.chaos.injector import ChaosInjector, FaultCounters
 from repro.chaos.plan import FaultPlan, build_plan
@@ -130,6 +130,8 @@ def run_drill(
     payments_per_close: int = 2,
     retry: Optional[RetryPolicy] = None,
     validators: Optional[Sequence[Validator]] = None,
+    network: Optional[NetworkModel] = None,
+    observers: Sequence[Callable] = (),
 ) -> DrillReport:
     """Replay ``plan`` against a resilient node and report validator health.
 
@@ -137,6 +139,10 @@ def run_drill(
     run additional protocol rounds on top.  The node runs with degraded
     mode enabled — the drill's whole point is observing how far the system
     bends before it stops sealing ledgers.
+
+    ``observers`` subscribe directly to the consensus engine's validation
+    stream (no dedup, no disconnects) — the scenario packs use one to
+    collect the exact validations their fork detector replays.
     """
     roster = list(validators) if validators is not None else drill_roster()
     names = [v.name for v in roster]
@@ -155,7 +161,7 @@ def run_drill(
         state=state,
         validators=roster,
         require_signatures=False,
-        network=NetworkModel(),
+        network=network if network is not None else NetworkModel(),
         seed=seed,
         retry=retry if retry is not None else RetryPolicy(max_retries=2),
         allow_degraded=True,
@@ -165,6 +171,8 @@ def run_drill(
     collector = StreamCollector(dedupe=True, chaos=injector)
     server.subscribe(collector)
     server.attach(node.consensus)
+    for observer in observers:
+        node.consensus.subscribe(observer)
 
     report = DrillReport(plan=plan, seed=seed, rounds=rounds)
     sequences: Dict[object, int] = {account: 0 for account in accounts}

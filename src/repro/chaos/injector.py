@@ -29,6 +29,7 @@ class FaultCounters:
     messages_stale: int = 0
     crash_rounds: int = 0
     byzantine_rounds: int = 0
+    equivocations: int = 0
     rounds_not_validated: int = 0
     round_retries: int = 0
     degraded_rounds: int = 0
@@ -82,6 +83,8 @@ class ChaosInjector:
             counters.byzantine_rounds += len(
                 set(faults.behaviour_overrides) & participants
             )
+        if faults.equivocating:
+            counters.equivocations += len(faults.equivocating)
         if not outcome.validated:
             counters.rounds_not_validated += 1
         self._mirror("chaos.faulted_rounds")

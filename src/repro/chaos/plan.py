@@ -69,10 +69,17 @@ class CrashFault:
 
 @dataclass(frozen=True)
 class ByzantineFault:
-    """``name`` proposes conflicting transaction sets during the window."""
+    """``name`` proposes conflicting transaction sets during the window.
+
+    With ``equivocate`` the validator additionally stops closing its own
+    page and instead signs a validation for *every* page its peers close
+    — the vote-splitting equivocation that lets a divided network
+    complete conflicting quorums (Amores-Sesar et al., Theorem 2).
+    """
 
     name: str
     window: Window
+    equivocate: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,9 +128,12 @@ class FaultPlan:
         for crash in self.crashes:
             if crash.window.covers(round_index):
                 crashed.add(crash.name)
+        equivocating: set = set()
         for flip in self.byzantine:
             if flip.window.covers(round_index):
                 overrides[flip.name] = Behaviour.BYZANTINE
+                if flip.equivocate:
+                    equivocating.add(flip.name)
         faults = RoundFaults(
             extra_loss=extra_loss,
             blocked=frozenset(blocked),
@@ -131,6 +141,7 @@ class FaultPlan:
             behaviour_overrides=overrides,
             crashed=frozenset(crashed),
             partitions=groups,
+            equivocating=frozenset(equivocating),
         )
         return faults if faults.any_active else None
 
@@ -140,6 +151,107 @@ class FaultPlan:
 
     def byzantine_names(self) -> FrozenSet[str]:
         return frozenset(flip.name for flip in self.byzantine)
+
+    # Serialization ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical JSON-able form: sets sorted, schedules in order."""
+
+        def window(w: Window) -> Dict[str, int]:
+            return {"start": w.start, "end": w.end}
+
+        return {
+            "name": self.name,
+            "description": self.description,
+            "messages": [
+                {
+                    "window": window(f.window),
+                    "extra_loss": f.extra_loss,
+                    "blocked": sorted(f.blocked),
+                    "stale": sorted(f.stale),
+                }
+                for f in self.messages
+            ],
+            "partitions": [
+                {
+                    "window": window(f.window),
+                    "groups": [sorted(group) for group in f.groups],
+                }
+                for f in self.partitions
+            ],
+            "crashes": [
+                {"name": f.name, "window": window(f.window)}
+                for f in self.crashes
+            ],
+            "byzantine": [
+                {
+                    "name": f.name,
+                    "window": window(f.window),
+                    "equivocate": f.equivocate,
+                }
+                for f in self.byzantine
+            ],
+            "stream": [{"window": window(f.window)} for f in self.stream],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (exact round trip)."""
+
+        def window(data) -> Window:
+            return Window(int(data["start"]), int(data["end"]))
+
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            messages=tuple(
+                MessageFault(
+                    window(f["window"]),
+                    extra_loss=float(f.get("extra_loss", 0.0)),
+                    blocked=tuple(f.get("blocked", ())),
+                    stale=tuple(f.get("stale", ())),
+                )
+                for f in payload.get("messages", ())
+            ),
+            partitions=tuple(
+                PartitionFault(
+                    window(f["window"]),
+                    tuple(frozenset(group) for group in f["groups"]),
+                )
+                for f in payload.get("partitions", ())
+            ),
+            crashes=tuple(
+                CrashFault(str(f["name"]), window(f["window"]))
+                for f in payload.get("crashes", ())
+            ),
+            byzantine=tuple(
+                ByzantineFault(
+                    str(f["name"]),
+                    window(f["window"]),
+                    equivocate=bool(f.get("equivocate", False)),
+                )
+                for f in payload.get("byzantine", ())
+            ),
+            stream=tuple(
+                StreamFault(window(f["window"]))
+                for f in payload.get("stream", ())
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        """sha256 over the canonical dict — a stable schedule identity.
+
+        Two plans with the same schedules fingerprint identically even
+        when their in-memory tuples list blocked/stale names in different
+        orders; the drill manifests record this value.
+        """
+        import hashlib
+        import json
+
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # Named plans ------------------------------------------------------------------
@@ -345,7 +457,12 @@ def random_plan(
     max_byzantine = int(np.ceil(len(names) * max_byzantine_fraction)) - 1
     byz_count = int(rng.integers(0, max(0, max_byzantine) + 1))
     byz_names = rng.choice(names, size=byz_count, replace=False) if byz_count else []
-    byzantine = tuple(ByzantineFault(str(name), window()) for name in byz_names)
+    # Half the flips also equivocate: under full UNL overlap the safety
+    # property must hold against vote-splitting signatures too.
+    byzantine = tuple(
+        ByzantineFault(str(name), window(), equivocate=bool(rng.random() < 0.5))
+        for name in byz_names
+    )
     return FaultPlan(
         name=f"random-{seed}",
         description="randomized plan for property testing",

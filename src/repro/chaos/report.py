@@ -4,8 +4,14 @@ The report mirrors Fig. 2 of the paper — per-validator total vs. valid
 signed pages — but adds the degradation ledger: how many closes needed
 retries, how many sealed off a reduced quorum, how often the validation
 stream dropped and recovered.  Importing this module registers the
-``chaos`` artifact, so ``python -m repro chaos --plan partition``
+``chaos`` artifact (and, via :mod:`repro.chaos.scenarios`, the
+``fork_threshold`` sweep), so ``python -m repro chaos --plan partition``
 dispatches through the same :mod:`repro.api` table as the figures.
+
+``--plan`` also accepts the named adversarial scenario packs: drill
+packs run through :func:`repro.chaos.scenarios.run_scenario` and render
+their fork ledger on top of the health table; the ``unl-overlap-sweep``
+pack delegates to the ``fork_threshold`` artifact's compute.
 """
 
 from __future__ import annotations
@@ -14,6 +20,13 @@ from repro.api.registry import ArtifactResult, register
 from repro.api.request import ArtifactRequest
 from repro.chaos.drill import DrillReport, run_drill
 from repro.chaos.plan import PLANS
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ScenarioReport,
+    _compute_fork_threshold,
+    render_fork_threshold,
+    run_scenario,
+)
 
 
 def _flags(row) -> str:
@@ -32,6 +45,7 @@ def render_chaos_report(report: DrillReport) -> str:
         f"Chaos drill — plan '{plan.name}' (seed {report.seed}, "
         f"{report.rounds} close attempts)",
         f"  {plan.description}",
+        f"  plan fingerprint {plan.fingerprint()[:12]}",
         "",
         "Ledger closes",
         f"  attempted {report.closes_attempted:5d}   "
@@ -52,6 +66,16 @@ def render_chaos_report(report: DrillReport) -> str:
     for name, value in report.counters.as_dict().items():
         if value:
             lines.append(f"  {name:24s} {value:8d}")
+    if isinstance(report, ScenarioReport):
+        lines += [
+            "",
+            f"Scenario '{report.scenario}' — {report.source}",
+            f"  expected: {report.expected}",
+            f"  safety violations  {report.safety_violations:5d}   "
+            f"liveness violations {report.liveness_violations:5d}",
+        ]
+        for event in report.fork_events:
+            lines.append(f"  FORK {event.describe()}")
     lines += [
         "",
         "Validator health (total vs. valid signed pages, as in Fig. 2)",
@@ -70,11 +94,26 @@ def render_chaos_report(report: DrillReport) -> str:
 
 
 def _compute_chaos(args: ArtifactRequest) -> ArtifactResult:
-    report = run_drill(
-        getattr(args, "plan", "partition"),
-        seed=args.seed,
-        rounds=getattr(args, "rounds", None) or 240,
-    )
+    plan = getattr(args, "plan", None) or "partition"
+    rounds = getattr(args, "rounds", None) or 240
+    pack = SCENARIOS.get(plan)
+    if pack is not None and pack.kind == "sweep":
+        return _compute_fork_threshold(args)
+    if pack is not None:
+        report = run_scenario(plan, seed=args.seed, rounds=rounds)
+        return ArtifactResult(
+            data=report,
+            metrics={
+                "closes_attempted": report.closes_attempted,
+                "validated_closes": report.validated_closes,
+                "degraded_closes": report.degraded_closes,
+                "failed_closes": report.failed_closes,
+                "safety_violations": report.safety_violations,
+                "liveness_violations": report.liveness_violations,
+            },
+            manifest={"plan_fingerprint": report.plan.fingerprint()},
+        )
+    report = run_drill(plan, seed=args.seed, rounds=rounds)
     return ArtifactResult(
         data=report,
         metrics={
@@ -83,14 +122,21 @@ def _compute_chaos(args: ArtifactRequest) -> ArtifactResult:
             "degraded_closes": report.degraded_closes,
             "failed_closes": report.failed_closes,
         },
+        manifest={"plan_fingerprint": report.plan.fingerprint()},
     )
+
+
+def _render_chaos(payload, args) -> str:
+    if isinstance(payload, dict):  # the sweep pack's delegated payload
+        return render_fork_threshold(payload)
+    return render_chaos_report(payload)
 
 
 register(
     "chaos",
     "fault-injection drill: validator health under a fault plan",
     _compute_chaos,
-    lambda report, args: render_chaos_report(report),
+    _render_chaos,
 )
 
-__all__ = ["render_chaos_report", "PLANS"]
+__all__ = ["render_chaos_report", "PLANS", "SCENARIOS"]

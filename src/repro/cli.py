@@ -46,6 +46,7 @@ from repro.durability import atomic_write
 from repro.errors import AnalysisError
 from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
 from repro.chaos.plan import PLANS
+from repro.chaos.scenarios import SCENARIOS
 from repro.obs.manifest import (
     RUN,
     build_manifest,
@@ -411,10 +412,13 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--top", type=int, default=None)
         elif name == "chaos":
             sub.add_argument("--plan", default="partition",
-                             choices=sorted(PLANS),
-                             help="named fault plan to replay")
+                             choices=sorted(set(PLANS) | set(SCENARIOS)),
+                             help="named fault plan or scenario pack")
             sub.add_argument("--rounds", type=int, default=240,
                              help="ledger-close attempts to drive")
+        elif name == "fork_threshold":
+            sub.add_argument("--rounds", type=int, default=240,
+                             help="ledger-close attempts per sweep point")
         sub.set_defaults(func=cmd_artifact)
 
     sub = subparsers.add_parser("generate", parents=[parent],

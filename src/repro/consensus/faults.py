@@ -42,6 +42,12 @@ class ValidatorProfile:
                         (0 = main net; anything else is a fork/test-net).
     ``presence``      — optional (start, end) round window; outside it the
                         validator emits nothing.
+    ``receive_probability`` — probability of holding any given pending
+                        transaction when deliberation starts; ``None``
+                        keeps the behaviour-keyed default (0.98 active,
+                        0.6 lagging, 0.5 offline).  The adversarial
+                        scenario packs lower it to model the poor tx
+                        propagation their source analyses assume.
     """
 
     behaviour: Behaviour
@@ -49,6 +55,7 @@ class ValidatorProfile:
     sync_quality: float = 1.0
     network_id: int = 0
     presence: Optional[Tuple[int, int]] = None
+    receive_probability: Optional[float] = None
 
     def present_at(self, round_index: int) -> bool:
         if self.presence is None:
@@ -119,6 +126,11 @@ class RoundFaults:
                               not participate at all.
     ``partitions``          — partition groups in force this round, replacing
                               the network model's static partitions.
+    ``equivocating``        — byzantine validators that, instead of closing
+                              their own page, co-sign *every* page closed by
+                              another main-net validator this round — the
+                              vote-splitting equivocation of the cited
+                              safety analyses.
     """
 
     extra_loss: float = 0.0
@@ -127,6 +139,7 @@ class RoundFaults:
     behaviour_overrides: Dict[str, Behaviour] = field(default_factory=dict)
     crashed: FrozenSet[str] = frozenset()
     partitions: Tuple[FrozenSet[str], ...] = ()
+    equivocating: FrozenSet[str] = frozenset()
 
     def behaviour_of(self, validator: "object") -> Behaviour:
         """Effective behaviour of ``validator`` under this round's faults."""
@@ -142,6 +155,7 @@ class RoundFaults:
             or self.behaviour_overrides
             or self.crashed
             or self.partitions
+            or self.equivocating
         )
 
 

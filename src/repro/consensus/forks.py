@@ -1,0 +1,161 @@
+"""Per-view validation and fork detection.
+
+The engine's ``validated_hash`` is a *global* check against one master
+UNL.  Real XRP safety is per-validator: validator ``v`` considers a page
+fully validated once at least 80 % of **its own UNL** signed it.  With
+fully overlapping UNLs the two notions coincide; once UNLs diverge they
+do not — and the fork condition of Chase & MacBrough (*Analysis of the
+XRP Ledger Consensus Protocol*) is exactly two validators whose views
+validate *different* pages at the same sequence.
+
+:func:`find_forks` replays a run's validation stream against each
+distinct UNL in the roster and reports every sequence at which two or
+more conflicting pages reached a view quorum.  Retried close attempts
+are naturally separated: the engine advances the ledger sequence on
+every protocol round, so validations from different attempts never share
+a sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.consensus.proposals import Validation
+from repro.consensus.unl import UNL
+from repro.consensus.validator import Validator
+
+#: Fraction of a view's UNL that must sign a page to validate it there.
+DEFAULT_VIEW_QUORUM = 0.80
+
+
+@dataclass(frozen=True)
+class ForkEvent:
+    """Two or more conflicting pages view-validated at one sequence."""
+
+    sequence: int
+    close_time: int
+    #: The conflicting page hashes, sorted for determinism.
+    pages: Tuple[bytes, ...]
+    #: For each page (same order), the validator views that validated it.
+    views: Tuple[Tuple[str, ...], ...]
+
+    def describe(self) -> str:
+        sides = "  vs  ".join(
+            f"{page.hex()[:12]} [{len(view)} views]"
+            for page, view in zip(self.pages, self.views)
+        )
+        return f"sequence {self.sequence}: {sides}"
+
+
+def view_validated_pages(
+    validations: Iterable[Validation],
+    validators: Sequence[Validator],
+    quorum: float = DEFAULT_VIEW_QUORUM,
+) -> Dict[int, Dict[bytes, Tuple[str, ...]]]:
+    """Per sequence: each page hash that reached a view quorum, with the
+    (sorted) names of the validators in whose view it validated.
+
+    Only main-net validations count — forked instances run their own
+    chain and are not a safety violation of the main ledger.
+    """
+    unl_of: Dict[str, UNL] = {
+        v.name: v.unl for v in validators if v.network_id == 0
+    }
+    signers: Dict[int, Dict[bytes, Set[str]]] = {}
+    for validation in validations:
+        if validation.network_id != 0:
+            continue
+        signers.setdefault(validation.sequence, {}).setdefault(
+            validation.page_hash, set()
+        ).add(validation.validator)
+
+    validated: Dict[int, Dict[bytes, Tuple[str, ...]]] = {}
+    for sequence, pages in signers.items():
+        winners: Dict[bytes, Tuple[str, ...]] = {}
+        for page, names in pages.items():
+            views = tuple(
+                sorted(
+                    viewer
+                    for viewer, unl in unl_of.items()
+                    if len(names & unl.members) >= unl.quorum_size(quorum)
+                )
+            )
+            if views:
+                winners[page] = views
+        if winners:
+            validated[sequence] = winners
+    return validated
+
+
+def find_forks(
+    validations: Iterable[Validation],
+    validators: Sequence[Validator],
+    quorum: float = DEFAULT_VIEW_QUORUM,
+    close_times: Dict[int, int] = None,
+) -> List[ForkEvent]:
+    """Every sequence at which conflicting pages view-validated.
+
+    ``close_times`` optionally maps sequence -> close time for the event
+    records; absent entries fall back to the validations' sign time.
+    """
+    sign_times: Dict[int, int] = {}
+    collected = list(validations)
+    for validation in collected:
+        sign_times.setdefault(validation.sequence, validation.sign_time)
+    events: List[ForkEvent] = []
+    for sequence, winners in sorted(
+        view_validated_pages(collected, validators, quorum).items()
+    ):
+        if len(winners) < 2:
+            continue
+        pages = tuple(sorted(winners))
+        close_time = (close_times or {}).get(
+            sequence, sign_times.get(sequence, 0)
+        )
+        events.append(
+            ForkEvent(
+                sequence=sequence,
+                close_time=close_time,
+                pages=pages,
+                views=tuple(winners[page] for page in pages),
+            )
+        )
+    return events
+
+
+def conflicting_validated_pages(
+    validations: Iterable[Validation],
+    master_unl: UNL,
+    quorum: float = DEFAULT_VIEW_QUORUM,
+) -> Dict[int, Set[bytes]]:
+    """Sequences at which more than one page reached the *master* quorum.
+
+    This is the single-UNL safety property the hypothesis suite asserts;
+    under full UNL overlap it coincides with :func:`find_forks`.
+    """
+    support: Dict[int, Dict[bytes, Set[str]]] = {}
+    for validation in validations:
+        if validation.validator not in master_unl:
+            continue
+        support.setdefault(validation.sequence, {}).setdefault(
+            validation.page_hash, set()
+        ).add(validation.validator)
+    needed = quorum * len(master_unl)
+    conflicts: Dict[int, Set[bytes]] = {}
+    for sequence, pages in support.items():
+        winners = {
+            page for page, names in pages.items() if len(names) >= needed
+        }
+        if len(winners) > 1:
+            conflicts[sequence] = winners
+    return conflicts
+
+
+__all__ = [
+    "DEFAULT_VIEW_QUORUM",
+    "ForkEvent",
+    "conflicting_validated_pages",
+    "find_forks",
+    "view_validated_pages",
+]

@@ -182,9 +182,14 @@ def run_round(
             heard_of[listener.name] = heard
 
     parent_main = parent_hashes.get(0, b"\x00" * 32)
+    equivocating: FrozenSet[str] = (
+        faults.equivocating if faults is not None else frozenset()
+    )
     page_of: Dict[str, bytes] = {}
     tx_set_of: Dict[str, FrozenSet[bytes]] = {}
     for validator in main:
+        if validator.name in equivocating:
+            continue
         requires_quorum = behaviour_of(validator) is Behaviour.ACTIVE
         if requires_quorum and heard_of[validator.name] < quorum * len(validator.unl):
             continue
@@ -204,6 +209,22 @@ def run_round(
         outcome.validations.append(
             validator.make_validation(sequence, page, close_time, sign=sign_pages)
         )
+
+    # Equivocators sign a validation for *every* distinct page their honest
+    # peers closed this round, instead of closing one of their own — the
+    # vote-splitting move of the cited safety analyses: each side of a
+    # divided network sees the equivocators complete its own quorum.
+    if equivocating:
+        distinct_pages = sorted(set(page_of.values()))
+        for validator in main:
+            if validator.name not in equivocating:
+                continue
+            for page in distinct_pages:
+                outcome.validations.append(
+                    validator.make_validation(
+                        sequence, page, close_time, sign=sign_pages
+                    )
+                )
 
     # Forked instances close their own page per round; everyone on the same
     # fork signs the same (non-main) hash.

@@ -68,7 +68,9 @@ class Validator:
         lagging ones miss many — the source of initial disagreement RPCA
         must resolve.
         """
-        if self.behaviour is Behaviour.LAGGING:
+        if self.profile.receive_probability is not None:
+            receive_probability = self.profile.receive_probability
+        elif self.behaviour is Behaviour.LAGGING:
             receive_probability = 0.6
         elif self.behaviour is Behaviour.OFFLINE:
             receive_probability = 0.5

@@ -9,11 +9,14 @@ A *span* is one named, attributed, possibly-nested region of a run::
 
 Spans are recorded in **start order** with monotonically increasing
 sequence numbers, so a deterministic computation yields a deterministic
-span sequence.  Wall-clock timestamps and durations are recorded on every
-span — they are what make a trace useful — but they are segregated into
-the two ``VOLATILE_KEYS`` fields so golden comparisons can strip them:
-:meth:`Tracer.lines` with ``strip_timing=True`` is byte-stable across
-runs of the same computation.
+span sequence.  Timing is recorded on every span — it is what makes a
+trace useful — but it is segregated into the ``VOLATILE_KEYS`` fields so
+golden comparisons can strip it: :meth:`Tracer.lines` with
+``strip_timing=True`` is byte-stable across runs of the same
+computation.  ``wall_ts`` (wall clock at span start) is a pure transport
+annotation for humans correlating traces with logs; ``start_s`` and
+``duration_s`` come from the monotonic clock, offset from the tracer's
+origin, so the deterministic view never depends on the wall clock.
 
 Span *kinds* split the determinism contract:
 
@@ -43,8 +46,8 @@ import os
 import time
 from typing import Any, Dict, List, Optional
 
-#: Span fields that are wall-clock dependent and excluded from golden hashes.
-VOLATILE_KEYS = ("start_ts", "duration_s")
+#: Span fields that are clock dependent and excluded from golden hashes.
+VOLATILE_KEYS = ("wall_ts", "start_s", "duration_s")
 
 
 class _NullSpan:
@@ -97,6 +100,8 @@ class Tracer:
         self.spans: List[Dict[str, Any]] = []
         self._stack: List[int] = []
         self._next_seq = 0
+        #: Monotonic origin for ``start_s`` offsets.
+        self._origin = time.perf_counter()
 
     # Control ----------------------------------------------------------------------
 
@@ -110,6 +115,7 @@ class Tracer:
         self.spans.clear()
         self._stack.clear()
         self._next_seq = 0
+        self._origin = time.perf_counter()
 
     # Recording --------------------------------------------------------------------
 
@@ -125,7 +131,11 @@ class Tracer:
             "name": name,
             "kind": kind,
             "attrs": attrs,
-            "start_ts": time.time(),
+            # Transport annotation only — never part of any golden view.
+            "wall_ts": time.time(),
+            # Monotonic offset from the tracer origin: orders spans on a
+            # timeline without importing wall-clock nondeterminism.
+            "start_s": time.perf_counter() - self._origin,
             "duration_s": None,
         }
         self.spans.append(record)
@@ -165,7 +175,10 @@ class Tracer:
                     "name": record["name"],
                     "kind": record.get("kind", "detail"),
                     "attrs": dict(record.get("attrs", {})),
-                    "start_ts": record.get("start_ts"),
+                    "wall_ts": record.get("wall_ts"),
+                    # Worker offsets are from the *worker's* origin; they
+                    # stay meaningful per process and volatile everywhere.
+                    "start_s": record.get("start_s"),
                     "duration_s": record.get("duration_s"),
                 }
             )

@@ -32,6 +32,7 @@ import atexit
 import itertools
 import os
 import signal
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -395,8 +396,13 @@ def shared_shards(dataset: TransactionDataset, n_shards: int) -> List:
         return [dataset.slice_rows(start, stop) for start, stop in ranges]
     try:
         segment = publish(dataset)
-    except Exception:
+    except (OSError, ValueError, MemoryError) as exc:
+        # No /dev/shm, segment size limits, permissions: environmental,
+        # and the pickled-slice shards are a correct (slower) substitute.
         METRICS.count("shm.publish_failures")
+        print(
+            f"shm: falling back to pickled shards: {exc}", file=sys.stderr
+        )
         return [dataset.slice_rows(start, stop) for start, stop in ranges]
     return [segment.descriptor(start, stop) for start, stop in ranges]
 

@@ -29,12 +29,15 @@ drills and dashboards.
 from __future__ import annotations
 
 import os
+import socket
 import socketserver
+import stat
 import sys
 import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
+import repro.chaos.report  # noqa: F401  (registers chaos + fork_threshold)
 from repro.api import artifact
 from repro.api.registry import ResultEnvelope
 from repro.api.request import ArtifactRequest
@@ -247,6 +250,51 @@ if hasattr(socketserver, "UnixStreamServer"):
         daemon_threads = True
 
 
+def _reclaim_socket(socket_path: str, app: ArtifactServer) -> None:
+    """Unlink ``socket_path`` only when it is a *dead* daemon's socket.
+
+    A ``kill -9`` leaves the previous daemon's socket file behind; binding
+    must reclaim it.  But an unconditional unlink would also steal the
+    socket out from under a *live* daemon — its listener keeps serving the
+    now-unlinked inode while new clients silently talk to us, and the two
+    daemons race on the cache.  So: probe first.  A refused connection
+    proves nothing is accepting, and only then is the path removed.
+    """
+    try:
+        mode = os.stat(socket_path).st_mode
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(mode):
+        raise AnalysisError(
+            f"refusing to bind {socket_path}: exists and is not a socket"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(socket_path)
+    except ConnectionRefusedError:
+        # Nothing is accepting: the previous daemon died without cleanup.
+        METRICS.count("serve.stale_socket_reclaimed")
+        app.log(f"reclaiming stale socket {socket_path}")
+        try:
+            os.remove(socket_path)
+        except FileNotFoundError:
+            pass
+    except FileNotFoundError:
+        pass  # unlinked between stat and connect — already reclaimed
+    except OSError as exc:
+        # Timeouts land here too: a full backlog is a *live* busy daemon.
+        raise AnalysisError(
+            f"refusing to bind {socket_path}: probe failed ({exc})"
+        ) from None
+    else:
+        raise AnalysisError(
+            f"refusing to bind {socket_path}: another daemon is listening"
+        )
+    finally:
+        probe.close()
+
+
 def make_server(
     app: ArtifactServer,
     socket_path: Optional[str] = None,
@@ -257,8 +305,7 @@ def make_server(
     if socket_path:
         if not hasattr(socketserver, "UnixStreamServer"):
             raise AnalysisError("unix sockets are unavailable on this platform")
-        if os.path.exists(socket_path):
-            os.remove(socket_path)
+        _reclaim_socket(socket_path, app)
         server = _ThreadingUnixServer(socket_path, _Handler)
     else:
         server = _ThreadingTCPServer((host, port), _Handler)

@@ -1,15 +1,20 @@
 """Fault plans: windows, merging, named builders, seeded generation."""
 
+import json
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.chaos.plan import (
     PLANS,
     ByzantineFault,
+    CrashFault,
     FaultPlan,
     MessageFault,
     PartitionFault,
+    StreamFault,
     Window,
     build_plan,
     random_plan,
@@ -101,6 +106,120 @@ class TestNamedPlans:
         assert max(f.window.end for f in plan.stream) > 100
         assert plan.stream_disconnected(plan.stream[0].window.start)
         assert not plan.stream_disconnected(plan.stream[0].window.end)
+
+
+class TestWindowEdgeCases:
+    def test_zero_length_windows_never_activate(self):
+        """A Window(k, k) schedule is inert on every fault kind."""
+        w = Window(5, 5)
+        plan = FaultPlan(
+            name="inert",
+            messages=(MessageFault(w, extra_loss=0.9, blocked=("v0",)),),
+            partitions=(
+                PartitionFault(w, (frozenset(ROSTER[:6]), frozenset(ROSTER[6:]))),
+            ),
+            crashes=(CrashFault("v1", w),),
+            byzantine=(ByzantineFault("v2", w, equivocate=True),),
+            stream=(StreamFault(w),),
+        )
+        assert all(plan.round_faults(r) is None for r in range(12))
+        assert not plan.stream_disconnected(5)
+
+    def test_overlapping_partitions_last_wins(self):
+        """Two partition schedules covering one round: the later entry's
+        groups apply whole — partitions replace, they do not union."""
+        first = (frozenset(ROSTER[:3]), frozenset(ROSTER[3:]))
+        second = (frozenset(ROSTER[:9]), frozenset(ROSTER[9:]))
+        plan = FaultPlan(
+            name="overlap",
+            partitions=(
+                PartitionFault(Window(0, 10), first),
+                PartitionFault(Window(5, 15), second),
+            ),
+        )
+        assert plan.round_faults(2).partitions == first
+        assert plan.round_faults(7).partitions == second
+        assert plan.round_faults(12).partitions == second
+
+    def test_overlapping_byzantine_flips_merge_equivocation(self):
+        """Same validator, overlapping windows, one of them equivocating:
+        the override is applied once and equivocation is sticky wherever
+        any covering flip asks for it."""
+        plan = FaultPlan(
+            name="overlap-byz",
+            byzantine=(
+                ByzantineFault("v2", Window(0, 10)),
+                ByzantineFault("v2", Window(5, 15), equivocate=True),
+            ),
+        )
+        early = plan.round_faults(2)
+        both = plan.round_faults(7)
+        late = plan.round_faults(12)
+        assert early.behaviour_overrides["v2"] is Behaviour.BYZANTINE
+        assert early.equivocating == frozenset()
+        assert both.behaviour_overrides["v2"] is Behaviour.BYZANTINE
+        assert both.equivocating == frozenset({"v2"})
+        assert late.equivocating == frozenset({"v2"})
+
+    def test_overlapping_message_faults_union_names_max_loss(self):
+        plan = FaultPlan(
+            name="overlap-msg",
+            messages=(
+                MessageFault(Window(0, 10), extra_loss=0.5, stale=("v0",)),
+                MessageFault(Window(0, 10), extra_loss=0.1, stale=("v1",)),
+            ),
+        )
+        faults = plan.round_faults(3)
+        assert faults.extra_loss == 0.5
+        assert faults.stale == frozenset({"v0", "v1"})
+
+
+class TestFingerprint:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_plan_round_trips_through_fingerprint(self, seed):
+        plan = random_plan(seed, 80, ROSTER)
+        wire = json.loads(json.dumps(plan.to_dict()))
+        rebuilt = FaultPlan.from_dict(wire)
+        assert rebuilt.fingerprint() == plan.fingerprint()
+        assert rebuilt.to_dict() == plan.to_dict()
+        # round_faults semantics survive the round trip too
+        for round_index in (0, 20, 79):
+            assert rebuilt.round_faults(round_index) == plan.round_faults(
+                round_index
+            )
+
+    def test_fingerprint_ignores_tuple_ordering(self):
+        """blocked/stale/group orderings are canonicalized away."""
+        a = FaultPlan(
+            name="p",
+            messages=(MessageFault(Window(0, 5), blocked=("v0", "v1")),),
+            partitions=(
+                PartitionFault(
+                    Window(0, 5), (frozenset(("v2", "v3")), frozenset(("v4",)))
+                ),
+            ),
+        )
+        b = FaultPlan(
+            name="p",
+            messages=(MessageFault(Window(0, 5), blocked=("v1", "v0")),),
+            partitions=(
+                PartitionFault(
+                    Window(0, 5), (frozenset(("v3", "v2")), frozenset(("v4",)))
+                ),
+            ),
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_schedules(self):
+        a = FaultPlan(name="p", crashes=(CrashFault("v0", Window(0, 5)),))
+        b = FaultPlan(name="p", crashes=(CrashFault("v0", Window(0, 6)),))
+        c = FaultPlan(
+            name="p",
+            byzantine=(ByzantineFault("v0", Window(0, 5), equivocate=True),),
+        )
+        d = FaultPlan(name="p", byzantine=(ByzantineFault("v0", Window(0, 5)),))
+        assert len({p.fingerprint() for p in (a, b, c, d)}) == 4
 
 
 class TestRandomPlan:

@@ -6,43 +6,31 @@ at the same sequence — the f < n/5 agreement bound of the consensus white
 paper, which the cited analyses (Chase & MacBrough; Amores-Sesar et al.)
 show is tight only when UNLs diverge.  Liveness may degrade arbitrarily;
 safety may not.
+
+Both notions of "validated" are asserted: the master-UNL quorum the
+engine itself applies, and the per-view quorum of
+:mod:`repro.consensus.forks` — under full UNL overlap they must agree,
+and neither may ever admit a fork.  ``random_plan`` draws equivocating
+byzantine flips too, so the properties cover the vote-splitting attack
+the ``amores-cachin-delay`` scenario weaponizes: with one shared UNL it
+must stay harmless.
 """
 
-from typing import Dict, List, Set
+from typing import List, Tuple
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chaos import ChaosInjector, random_plan
 from repro.chaos.drill import drill_roster
+from repro.consensus.forks import conflicting_validated_pages, find_forks
 from repro.ledger.state import LedgerState
 from repro.node import RetryPolicy, RippledNode
 
 ROUNDS = 25
 
 
-def _quorum_hashes_per_sequence(node, validations) -> Dict[int, Set[bytes]]:
-    """Page hashes that reached the 80% master-UNL quorum, per sequence."""
-    master = node.consensus.master_unl
-    needed = node.consensus.quorum * len(master)
-    support: Dict[int, Dict[bytes, Set[str]]] = {}
-    for v in validations:
-        if v.validator not in master:
-            continue
-        support.setdefault(v.sequence, {}).setdefault(
-            v.page_hash, set()
-        ).add(v.validator)
-    return {
-        sequence: {
-            page for page, names in pages.items() if len(names) >= needed
-        }
-        for sequence, pages in support.items()
-    }
-
-
-@settings(max_examples=10, deadline=None)
-@given(seed=st.integers(min_value=0, max_value=10_000))
-def test_no_conflicting_validated_pages(seed):
+def _run_random_plan(seed: int) -> Tuple[RippledNode, list, List]:
     roster = drill_roster()
     plan = random_plan(seed, ROUNDS, [v.name for v in roster],
                        max_byzantine_fraction=0.2)
@@ -59,17 +47,41 @@ def test_no_conflicting_validated_pages(seed):
     node.consensus.subscribe(validations.append)
     for _ in range(ROUNDS):
         node.close_ledger()
+    return node, roster, validations
 
-    # At most one page hash may ever reach quorum at a given sequence —
-    # retried rounds included (their close times differ, so a failed
-    # attempt can never lend support to a later one).
-    for sequence, winners in _quorum_hashes_per_sequence(
-        node, validations
-    ).items():
-        assert len(winners) <= 1, (
-            f"sequence {sequence} validated {len(winners)} conflicting pages "
-            f"under plan {plan.name}"
-        )
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_conflicting_validated_pages(seed):
+    node, _roster, validations = _run_random_plan(seed)
+
+    # At most one page hash may ever reach the master quorum at a given
+    # sequence — retried rounds included (their close times differ, so a
+    # failed attempt can never lend support to a later one).
+    conflicts = conflicting_validated_pages(
+        validations, node.consensus.master_unl, node.consensus.quorum
+    )
+    assert not conflicts, (
+        f"sequences {sorted(conflicts)} validated conflicting pages "
+        f"under random plan {seed}"
+    )
 
     # And the node's own main chain has one page per sequence.
     assert len(node.validated_hashes) == len(set(node.validated_hashes))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_no_per_view_forks_under_full_overlap(seed):
+    """The per-view fork detector agrees: full overlap admits no fork.
+
+    This is the exact checker the adversarial scenario packs use to
+    *record* safety violations, pointed at the regime where the cited
+    analyses prove there are none — equivocators and all.
+    """
+    node, roster, validations = _run_random_plan(seed)
+    forks = find_forks(validations, roster, quorum=node.consensus.quorum)
+    assert forks == [], (
+        f"per-view forks {[event.describe() for event in forks]} "
+        f"under random plan {seed}"
+    )

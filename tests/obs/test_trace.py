@@ -48,6 +48,38 @@ class TestSpans:
         assert tracer.spans[0]["attrs"] == {"shard": 3}
 
 
+class TestTiming:
+    def test_wall_clock_is_a_transport_annotation_only(self):
+        """``wall_ts`` exists for humans; nothing deterministic reads it."""
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            pass
+        record = tracer.spans[0]
+        assert record["wall_ts"] > 0
+        assert "wall_ts" in VOLATILE_KEYS
+        assert "start_ts" not in record  # the old wall-clock field is gone
+
+    def test_start_offsets_are_monotonic_from_the_tracer_origin(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        offsets = [record["start_s"] for record in tracer.spans]
+        assert all(offset >= 0.0 for offset in offsets)
+        assert offsets == sorted(offsets)
+
+    def test_reset_restarts_the_origin(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("warmup"):
+            pass
+        tracer.reset()
+        with tracer.span("fresh"):
+            pass
+        # a reset tracer starts its timeline near zero again
+        assert tracer.spans[0]["start_s"] < 1.0
+
+
 class TestAbsorb:
     def test_absorb_reparents_and_resequences(self):
         worker = Tracer(enabled=True)

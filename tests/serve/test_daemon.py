@@ -228,6 +228,72 @@ class TestStartup:
         assert len(store) == 1
 
 
+class TestStaleSocket:
+    """Binding must reclaim a dead daemon's socket and refuse a live one."""
+
+    def test_stale_socket_is_reclaimed(self, tmp_path, servetest):
+        import socket as socket_module
+
+        socket_path = str(tmp_path / "serve.sock")
+        # A kill -9 leaves the bound socket file behind with nothing
+        # accepting: simulate by binding, listening, and closing without
+        # unlinking.
+        corpse = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        corpse.bind(socket_path)
+        corpse.listen(1)
+        corpse.close()
+        import os
+
+        assert os.path.exists(socket_path)
+
+        app = _server(tmp_path)
+        server = make_server(app, socket_path=socket_path)
+        try:
+            assert METRICS.counters["serve.stale_socket_reclaimed"] == 1
+            thread = threading.Thread(
+                target=server.serve_forever, kwargs={"poll_interval": 0.05}
+            )
+            thread.start()
+            try:
+                client = ServeClient(socket_path=socket_path, timeout=10)
+                client.wait_ready(attempts=50, delay=0.05)
+                assert client.ping()["status"] == "ok"
+            finally:
+                server.shutdown()
+                thread.join(5)
+        finally:
+            server.server_close()
+
+    def test_live_socket_is_refused(self, tmp_path, servetest):
+        socket_path = str(tmp_path / "serve.sock")
+        app = _server(tmp_path)
+        first = make_server(app, socket_path=socket_path)
+        thread = threading.Thread(
+            target=first.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        thread.start()
+        try:
+            with pytest.raises(AnalysisError, match="another daemon"):
+                make_server(_server(tmp_path), socket_path=socket_path)
+        finally:
+            first.shutdown()
+            thread.join(5)
+            first.server_close()
+        # the live daemon's socket file was not stolen
+        import os
+
+        assert os.path.exists(socket_path)
+
+    def test_non_socket_path_is_refused(self, tmp_path, servetest):
+        path = tmp_path / "serve.sock"
+        path.write_text("precious data, not a socket")
+        with pytest.raises(AnalysisError, match="not a socket"):
+            make_server(_server(tmp_path), socket_path=str(path))
+        assert path.read_text() == "precious data, not a socket"
+
+
 class TestSockets:
     def test_tcp_round_trip(self, tmp_path, servetest):
         app = _server(tmp_path)

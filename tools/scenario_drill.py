@@ -1,0 +1,157 @@
+"""Scenario drill — the CI check for the adversarial scenario packs.
+
+Replays the three named packs at smoke scale (60 close attempts) and
+holds them to the claims DESIGN §15 makes:
+
+1. **amores-cachin-delay** must reproduce a recorded safety violation —
+   the report carries ``FORK`` lines and a nonzero safety count — and
+   its rendered bytes must match the committed golden exactly;
+2. **sissle-fixed** (the identical schedule over a fully-overlapping
+   UNL) must complete with *zero* safety violations while paying in
+   liveness, again byte-identical to its golden;
+3. **fork_threshold** (the sweep behind ``unl-overlap-sweep``) must
+   match its golden byte for byte, and a ``--jobs 2`` run must produce
+   the same bytes as the serial one — sharding is an execution
+   strategy, not an answer-changing one.
+
+Goldens live in ``examples/scenarios/``; regenerate them after an
+intentional behaviour change with ``--update`` (and say why in the
+commit message).
+
+Exit code 0 = pass, 1 = contract violation, 2 = setup failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import re
+import subprocess
+import sys
+from typing import List, Optional
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_DIR = os.path.join(ROOT, "examples", "scenarios")
+
+#: golden file stem -> the CLI invocation that regenerates it.
+CASES = {
+    "amores-cachin-delay": [
+        "chaos", "--plan", "amores-cachin-delay", "--seed", "7",
+        "--rounds", "60",
+    ],
+    "sissle-fixed": [
+        "chaos", "--plan", "sissle-fixed", "--seed", "7", "--rounds", "60",
+    ],
+    "fork_threshold": ["fork_threshold", "--rounds", "60"],
+}
+
+_failures: List[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        _failures.append(message)
+
+
+def run_cli(cli_args: List[str]) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *cli_args],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return completed.stdout
+
+
+def sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def drill(update: bool) -> int:
+    reports = {}
+    for stem, cli_args in CASES.items():
+        print(f"== {stem} ==")
+        reports[stem] = run_cli(cli_args)
+
+        golden_path = os.path.join(GOLDEN_DIR, f"{stem}.txt")
+        if update:
+            with open(golden_path, "w", encoding="utf-8") as handle:
+                handle.write(reports[stem])
+            print(f"  [updated] {os.path.relpath(golden_path, ROOT)}")
+            continue
+        with open(golden_path, encoding="utf-8") as handle:
+            golden = handle.read()
+        check(
+            sha(reports[stem]) == sha(golden),
+            f"rendered report matches the committed golden "
+            f"(sha256 {sha(golden)[:12]})",
+        )
+
+    amores, sissle = reports["amores-cachin-delay"], reports["sissle-fixed"]
+    sweep = reports["fork_threshold"]
+
+    print("== scenario claims ==")
+    forks = re.findall(r"FORK sequence \d+", amores)
+    check(
+        bool(forks),
+        f"amores-cachin-delay records conflicting validated pages "
+        f"({len(forks)} FORK event(s))",
+    )
+    check(
+        re.search(r"safety violations\s+0", amores) is None,
+        "amores-cachin-delay safety count is nonzero",
+    )
+    check(
+        re.search(r"safety violations\s+0", sissle) is not None
+        and "FORK" not in sissle,
+        "sissle-fixed completes violation-free",
+    )
+    liveness = re.search(r"liveness violations\s+(\d+)", sissle)
+    check(
+        liveness is not None and int(liveness.group(1)) > 0,
+        "sissle-fixed pays in liveness instead",
+    )
+    check(
+        "empirical fork threshold" in sweep,
+        "the sweep locates an empirical fork threshold",
+    )
+
+    print("== fork_threshold: serial vs --jobs 2 ==")
+    parallel = run_cli([*CASES["fork_threshold"], "--jobs", "2"])
+    check(
+        parallel == sweep,
+        "sharded sweep is bit-for-bit identical to the serial run",
+    )
+
+    if update:
+        print("\ngoldens regenerated")
+    if _failures:
+        print(f"\nscenario drill FAILED ({len(_failures)} violation(s)):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nscenario drill passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed goldens from this run's output",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return drill(args.update)
+    except (subprocess.CalledProcessError, OSError) as exc:
+        print(f"scenario drill setup failed: {exc}", file=sys.stderr)
+        if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+            print(exc.stderr, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
