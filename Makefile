@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3 serve-drill
+.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3 serve-drill live-drill
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -24,6 +24,11 @@ profile-fig3:
 # durable cache hits across a restart (see tools/serve_drill.py).
 serve-drill:
 	$(PYTHON) tools/serve_drill.py
+
+# Crash-safety check: kill -9 an ingest twice mid-stream, resume, and
+# require a digest identical to a never-killed run (tools/live_drill.py).
+live-drill:
+	$(PYTHON) tools/live_drill.py
 
 # fig3 with span tracing + run manifest, then schema-validate the manifest.
 trace-fig3:

@@ -276,13 +276,83 @@ def cmd_serve(args: argparse.Namespace) -> int:
     app = ArtifactServer(
         cache_dir=getattr(args, "cache_dir", None),
         default_jobs=getattr(args, "jobs", None),
+        ingest_state_dir=getattr(args, "ingest_state_dir", None),
     )
     return run_server(
         app,
         socket_path=args.socket,
         host=args.host,
         port=args.port or 0,
+        drain_timeout=getattr(args, "drain_timeout", 30.0),
     )
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Run the event-sourced live ingest pipeline until the source drains.
+
+    Tails a replayed archive (``--archive``) through the WAL →
+    OnlineState → snapshot loop under the supervisor: accepted events
+    are fsynced before they are applied, snapshots seal on a cadence,
+    and a ``kill -9`` at any instant resumes — from the same state dir —
+    to a state digest identical to an uninterrupted run.  SIGTERM/SIGINT
+    request a graceful drain: the WAL is flushed, a final snapshot
+    sealed, and the process exits 0.
+    """
+    import itertools
+    import signal
+
+    from repro.errors import IngestError
+    from repro.online import IngestConfig, archive_event_source
+    from repro.online.supervisor import IngestSupervisor
+
+    if not args.archive:
+        print("ingest: --archive PATH is required", file=sys.stderr)
+        return 2
+    config = IngestConfig(
+        state_dir=args.state_dir,
+        snapshot_every=args.snapshot_every,
+        wal_segment_events=args.wal_segment_events,
+        keep_snapshots=args.keep_snapshots,
+        status_every=args.status_every,
+        fsync=not args.no_fsync,
+    )
+
+    def source(start_seq: int):
+        events = archive_event_source(args.archive, start_seq)
+        if args.events is not None:
+            remaining = max(0, args.events - start_seq)
+            events = itertools.islice(events, remaining)
+        return events
+
+    supervisor = IngestSupervisor(
+        config,
+        source,
+        max_restarts=args.max_restarts,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+
+    def _drain(_signum, _frame):
+        supervisor.request_stop()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        digest, pipeline = supervisor.run()
+    except (IngestError, AnalysisError) as exc:
+        print(f"ingest: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(pipeline.state.summary())
+    print(f"state digest {digest}")
+    print(f"state dir {config.state_dir} "
+          f"(wal segments {pipeline.wal.segment_count()}, "
+          f"replayed {pipeline.replayed}, restarts {supervisor.restarts})",
+          file=sys.stderr)
+    return 0
 
 
 def cmd_rewards(args: argparse.Namespace) -> int:
@@ -473,7 +543,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--cache-dir", default=None, metavar="DIR",
                      help="durable result store root (default "
                           ".repro-serve-cache or $REPRO_SERVE_CACHE)")
+    sub.add_argument("--ingest-state-dir", default=None, metavar="DIR",
+                     help="default state dir the live_status op reads "
+                          "(a running 'repro ingest' writes it)")
+    sub.add_argument("--drain-timeout", type=float, default=30.0,
+                     metavar="SEC",
+                     help="max wait for in-flight requests on shutdown/"
+                          "SIGTERM (default 30s)")
     sub.set_defaults(func=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "ingest", parents=[parent],
+        help="run the crash-safe live ingest pipeline over an archive",
+    )
+    sub.add_argument("--state-dir", default=".repro-ingest", metavar="DIR",
+                     help="WAL + snapshot + status root "
+                          "(default .repro-ingest)")
+    sub.add_argument("--snapshot-every", type=int, default=1000,
+                     metavar="N", help="events between sealed snapshots "
+                                       "(default 1000; 0 disables)")
+    sub.add_argument("--wal-segment-events", type=int, default=512,
+                     metavar="N", help="events per WAL segment before it "
+                                       "is sealed (default 512)")
+    sub.add_argument("--keep-snapshots", type=int, default=3, metavar="N",
+                     help="verified snapshots retained (default 3)")
+    sub.add_argument("--status-every", type=int, default=200, metavar="N",
+                     help="events between status.json refreshes "
+                          "(default 200)")
+    sub.add_argument("--events", type=int, default=None, metavar="N",
+                     help="stop after the first N archive events")
+    sub.add_argument("--max-restarts", type=int, default=5, metavar="N",
+                     help="supervisor restart budget (default 5)")
+    sub.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                     metavar="SEC",
+                     help="watchdog stall threshold (default 30s)")
+    sub.add_argument("--no-fsync", action="store_true", default=False,
+                     help="skip per-event fsync (tests only; weakens the "
+                          "crash guarantee)")
+    sub.set_defaults(func=cmd_ingest)
 
     sub = subparsers.add_parser(
         "metrics", parents=[parent],

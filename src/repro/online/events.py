@@ -1,0 +1,164 @@
+"""Typed events flowing through the online ingest pipeline.
+
+Two kinds of event exist, mirroring the two streams the paper's authors
+tapped: **payment** events (one archive-format payment payload, the
+⟨S, A, T, C, D⟩ + path fields of :mod:`repro.analysis.archive`) and
+**validation** events (one signature observed on the validation stream,
+the fields of :class:`repro.stream.events.StreamEvent`).
+
+Every event carries a monotonically increasing sequence number assigned
+at ingest; the WAL stores events as one JSON line each, so the encoding
+here *is* the on-disk log format — deterministic (sorted keys, compact
+separators) so identical event streams produce identical WAL bytes.
+
+A *poison* event is one whose body fails schema validation.  Poison is
+detected at apply time, after the event is already durable in the WAL:
+the pipeline quarantines it (reason attached) instead of absorbing it,
+and replay reproduces the same quarantine decision — a poison event can
+therefore never fork recovered state from live state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.archive import validate_payload
+from repro.errors import IngestError
+from repro.stream.events import StreamEvent
+
+#: Event schema tag; bump when the WAL line layout changes.
+EVENT_VERSION = 1
+
+KIND_PAYMENT = "payment"
+KIND_VALIDATION = "validation"
+EVENT_KINDS = (KIND_PAYMENT, KIND_VALIDATION)
+
+
+class PoisonEventError(IngestError):
+    """An event body failed schema validation at apply time.
+
+    ``reason`` is the machine-readable tag quarantine sidecars and
+    metrics key on (``schema:amount``, ``event:kind``, …).
+    """
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class IngestEvent:
+    """One accepted event: sequence number, kind, and raw body."""
+
+    seq: int
+    kind: str
+    body: dict
+
+
+def payment_event(seq: int, payload: dict) -> IngestEvent:
+    """Wrap one archive-format payment payload (unvalidated)."""
+    return IngestEvent(seq=seq, kind=KIND_PAYMENT, body=payload)
+
+
+def validation_event(seq: int, event: StreamEvent) -> IngestEvent:
+    """Wrap one validation-stream message."""
+    return IngestEvent(
+        seq=seq,
+        kind=KIND_VALIDATION,
+        body={
+            "validator": event.validation.validator,
+            "sequence": event.validation.sequence,
+            "page_hash": event.validation.page_hash.hex(),
+            "sign_time": event.validation.sign_time,
+            "received_at": event.received_at,
+            "network_id": event.validation.network_id,
+        },
+    )
+
+
+def encode_event(event: IngestEvent) -> str:
+    """One deterministic WAL line (no trailing newline)."""
+    return json.dumps(
+        {"v": EVENT_VERSION, "seq": event.seq, "kind": event.kind,
+         "body": event.body},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_event(line: str) -> IngestEvent:
+    """Parse one WAL line back into an event.
+
+    Raises :class:`IngestError` on anything malformed — the WAL reader
+    decides whether that means a torn tail (tolerated) or corruption in
+    a sealed segment (the segment is discarded).
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise IngestError(f"WAL line is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise IngestError("WAL line is not a JSON object")
+    if payload.get("v") != EVENT_VERSION:
+        raise IngestError(f"unsupported event version {payload.get('v')!r}")
+    kind = payload.get("kind")
+    if kind not in EVENT_KINDS:
+        raise IngestError(f"unknown event kind {kind!r}")
+    seq = payload.get("seq")
+    body = payload.get("body")
+    if not isinstance(seq, int) or seq < 0 or not isinstance(body, dict):
+        raise IngestError("WAL line has a malformed seq/body")
+    return IngestEvent(seq=seq, kind=kind, body=body)
+
+
+#: Required validation-event body fields and their types.
+_VALIDATION_FIELDS: Dict[str, type] = {
+    "validator": str,
+    "sequence": int,
+    "page_hash": str,
+    "sign_time": int,
+    "received_at": int,
+    "network_id": int,
+}
+
+
+def validate_event_body(event: IngestEvent) -> None:
+    """Schema-check an event body; raises :class:`PoisonEventError`.
+
+    Payment bodies reuse the archive schema check
+    (:func:`repro.analysis.archive.validate_payload`) verbatim, so the
+    online pipeline rejects exactly the lines batch ingest would
+    quarantine.
+    """
+    if event.kind == KIND_PAYMENT:
+        if "parse_error" in event.body:
+            # The archive source accepted an unparseable line into the
+            # WAL; the parse failure travels as the event body.
+            raise PoisonEventError(
+                f"payment event seq {event.seq}: "
+                f"{event.body['parse_error']}",
+                reason="parse",
+            )
+        reason = validate_payload(event.body)
+        if reason is not None:
+            raise PoisonEventError(
+                f"payment event seq {event.seq}: {reason}", reason=reason
+            )
+        return
+    for field, expected in _VALIDATION_FIELDS.items():
+        value = event.body.get(field)
+        # bool is an int subclass; a boolean sequence number is garbage.
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise PoisonEventError(
+                f"validation event seq {event.seq}: bad field {field!r}",
+                reason=f"event:{field}",
+            )
+    try:
+        bytes.fromhex(event.body["page_hash"])
+    except ValueError:
+        raise PoisonEventError(
+            f"validation event seq {event.seq}: page_hash is not hex",
+            reason="event:page_hash",
+        ) from None

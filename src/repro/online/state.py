@@ -1,0 +1,459 @@
+"""Incremental online state: the live de-anonymizer and health counters.
+
+``OnlineState`` is the materialized view the ingest pipeline maintains —
+everything the batch artifacts compute over a frozen archive, kept
+current per event:
+
+* **fingerprint indexes** — one :class:`OnlineFingerprintIndex` per
+  Fig. 3 feature list.  Each absorbs a delivered payment in O(1)
+  amortized (a handful of dict updates) and maintains the number of
+  *unique* fingerprints directly, so information gain is a division at
+  read time.  Bucketing reuses the exact scalar arithmetic of the batch
+  path (:mod:`repro.core.resolution` half-up rounding over Table I
+  exponents), so the online identified-counts match
+  :meth:`repro.core.deanonymizer.Deanonymizer.figure3` exactly;
+* **delivery counters** — Table II-shaped submitted/delivered tallies
+  per payment category (cross- vs single-currency), watching delivery
+  health as a running rate rather than a batch replay;
+* a **fork watch** — per-view validation bookkeeping over the
+  validation stream (the incremental form of
+  :func:`repro.consensus.forks.view_validated_pages`), flagging every
+  sequence at which conflicting pages view-validated.
+
+State is a pure fold over the accepted-event sequence: ``absorb`` is
+deterministic, serialization is canonical JSON, and :meth:`digest` is
+the sha256 of that canonical form — the bit-identity the crash drill
+compares across killed and uninterrupted runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.consensus.unl import UNL
+from repro.core.resolution import (
+    FIGURE3_FEATURE_LISTS,
+    AmountResolution,
+    FeatureList,
+    TimeResolution,
+    granularity_exponent,
+    half_up,
+)
+from repro.errors import IngestError
+from repro.ledger.currency import Currency
+from repro.obs.metrics import METRICS
+from repro.online.events import (
+    KIND_PAYMENT,
+    KIND_VALIDATION,
+    IngestEvent,
+    validate_event_body,
+)
+
+#: Snapshot/state schema tag; bump when the serialized layout changes.
+STATE_VERSION = 1
+
+
+def amount_bucket(amount: float, currency: str, resolution: AmountResolution) -> int:
+    """The Table I bucket id of one amount — scalar twin of
+    :func:`repro.core.resolution.round_amounts_vector`.
+
+    Uses the same float64 operations in the same order (power, multiply,
+    half-up) so scalar and vectorized bucketing agree bit for bit.
+    """
+    exponent = granularity_exponent(Currency(currency), resolution)
+    scale = float(np.power(10.0, -np.float64(exponent)))
+    return int(half_up(np.float64(amount) * scale))
+
+
+def _absolute_amount_key(bucket: int, exponent: int) -> str:
+    """Currency-blind amount key: ``bucket * 10^exponent`` normalized.
+
+    The batch path re-expresses currency-scaled buckets in absolute
+    value terms (quantized at the dataset's finest exponent); two rows
+    collide there iff ``bucket_i * 10^(exp_i)`` are equal as reals.
+    Stripping trailing zeros into the exponent gives a canonical form
+    with exactly that equality — independent of any dataset-wide
+    "finest" exponent, which an online index cannot know in advance.
+    """
+    if bucket == 0:
+        return "0e0"
+    while bucket % 10 == 0:
+        bucket //= 10
+        exponent += 1
+    return f"{bucket}e{exponent}"
+
+
+def fingerprint_key(
+    feature_list: FeatureList,
+    amount: float,
+    timestamp: int,
+    currency: str,
+    destination: str,
+) -> str:
+    """The canonical fingerprint of one payment under ``feature_list``.
+
+    Components are joined with ``|`` in a fixed order; dropped features
+    contribute nothing.  Keys are compared only for equality, so any
+    injective encoding works — this one is also stable across runs,
+    which the snapshot digest requires.
+    """
+    parts: List[str] = []
+    if feature_list.amount is not AmountResolution.NONE:
+        exponent = granularity_exponent(
+            Currency(currency), feature_list.amount
+        )
+        bucket = amount_bucket(amount, currency, feature_list.amount)
+        if feature_list.use_currency:
+            parts.append(f"a{bucket}")
+        else:
+            parts.append("A" + _absolute_amount_key(bucket, exponent))
+    if feature_list.time is not TimeResolution.NONE:
+        if timestamp < 0:
+            raise IngestError("pre-epoch timestamp in fingerprint")
+        bucket_seconds = feature_list.time.bucket_seconds()
+        parts.append(f"t{(timestamp // bucket_seconds) * bucket_seconds}")
+    if feature_list.use_currency:
+        parts.append(f"c{currency}")
+    if feature_list.use_destination:
+        parts.append(f"d{destination}")
+    return "|".join(parts)
+
+
+class OnlineFingerprintIndex:
+    """Fingerprint multiset for one feature list, with a live unique count.
+
+    ``counts`` maps fingerprint key -> multiplicity; ``unique`` tracks
+    how many keys currently have multiplicity exactly one — which *is*
+    the paper's identified-payment count, maintained incrementally:
+    a key moving 0→1 gains a unique payment, 1→2 loses one, and further
+    repeats change nothing.
+    """
+
+    def __init__(
+        self,
+        feature_list: FeatureList,
+        counts: Optional[Dict[str, int]] = None,
+        unique: int = 0,
+    ):
+        self.feature_list = feature_list
+        self.counts: Dict[str, int] = counts if counts is not None else {}
+        self.unique = unique
+
+    def absorb(
+        self, amount: float, timestamp: int, currency: str, destination: str
+    ) -> str:
+        key = fingerprint_key(
+            self.feature_list, amount, timestamp, currency, destination
+        )
+        count = self.counts.get(key, 0) + 1
+        self.counts[key] = count
+        if count == 1:
+            self.unique += 1
+        elif count == 2:
+            self.unique -= 1
+        return key
+
+    def information_gain(self, total: int) -> float:
+        """Percentage of payments with a unique fingerprint (Fig. 3)."""
+        return 100.0 * self.unique / total if total else 0.0
+
+    def payload(self) -> dict:
+        return {
+            "label": self.feature_list.label(),
+            "counts": self.counts,
+            "unique": self.unique,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, feature_list: FeatureList, payload: dict
+    ) -> "OnlineFingerprintIndex":
+        return cls(
+            feature_list,
+            counts={str(k): int(v) for k, v in payload["counts"].items()},
+            unique=int(payload["unique"]),
+        )
+
+
+class ForkWatch:
+    """Incremental per-view fork detection over the validation stream.
+
+    Holds each main-net validator's UNL and the signer sets observed per
+    (sequence, page).  After absorbing a validation it re-evaluates only
+    the touched sequence: when two or more pages have reached a view
+    quorum there, the sequence is recorded as forked — the same
+    condition :func:`repro.consensus.forks.find_forks` finds in batch.
+    """
+
+    def __init__(
+        self,
+        views: Optional[Dict[str, Tuple[str, ...]]] = None,
+        quorum: float = 0.80,
+        signers: Optional[Dict[int, Dict[str, List[str]]]] = None,
+        forked: Optional[List[int]] = None,
+    ):
+        #: validator name -> sorted UNL member names (main net only).
+        self.views: Dict[str, Tuple[str, ...]] = views or {}
+        self.quorum = quorum
+        #: sequence -> page hex -> sorted signer names.
+        self.signers: Dict[int, Dict[str, List[str]]] = signers or {}
+        self.forked: List[int] = forked or []
+        self._unls: Dict[str, UNL] = {}
+
+    @classmethod
+    def from_validators(cls, validators, quorum: float = 0.80) -> "ForkWatch":
+        views = {
+            v.name: tuple(sorted(v.unl.members))
+            for v in validators
+            if getattr(v, "network_id", 0) == 0
+        }
+        return cls(views=views, quorum=quorum)
+
+    def _unl_of(self, viewer: str) -> UNL:
+        found = self._unls.get(viewer)
+        if found is None:
+            found = self._unls[viewer] = UNL.of(self.views[viewer])
+        return found
+
+    def absorb(self, body: dict) -> bool:
+        """Record one validation; True when it newly forked its sequence."""
+        if body["network_id"] != 0 or not self.views:
+            return False
+        sequence = body["sequence"]
+        pages = self.signers.setdefault(sequence, {})
+        names = pages.setdefault(body["page_hash"], [])
+        if body["validator"] not in names:
+            names.append(body["validator"])
+            names.sort()
+        if sequence in self.forked:
+            return False
+        validated = 0
+        for signers in pages.values():
+            signer_set = frozenset(signers)
+            for viewer in self.views:
+                unl = self._unl_of(viewer)
+                if len(signer_set & unl.members) >= unl.quorum_size(
+                    self.quorum
+                ):
+                    validated += 1
+                    break
+            if validated >= 2:
+                self.forked.append(sequence)
+                self.forked.sort()
+                return True
+        return False
+
+    def payload(self) -> dict:
+        return {
+            "views": {name: list(members) for name, members in
+                      sorted(self.views.items())},
+            "quorum": self.quorum,
+            "signers": {
+                str(sequence): {
+                    page: list(names) for page, names in sorted(pages.items())
+                }
+                for sequence, pages in sorted(self.signers.items())
+            },
+            "forked": list(self.forked),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ForkWatch":
+        return cls(
+            views={
+                str(name): tuple(members)
+                for name, members in payload["views"].items()
+            },
+            quorum=float(payload["quorum"]),
+            signers={
+                int(sequence): {
+                    str(page): [str(n) for n in names]
+                    for page, names in pages.items()
+                }
+                for sequence, pages in payload["signers"].items()
+            },
+            forked=[int(s) for s in payload["forked"]],
+        )
+
+
+class OnlineState:
+    """The full materialized view, replayable from snapshot + WAL tail."""
+
+    def __init__(
+        self,
+        feature_lists: Tuple[FeatureList, ...] = FIGURE3_FEATURE_LISTS,
+        fork_watch: Optional[ForkWatch] = None,
+    ):
+        self.feature_lists = tuple(feature_lists)
+        self.indexes = [OnlineFingerprintIndex(fl) for fl in self.feature_lists]
+        self.fork_watch = fork_watch if fork_watch is not None else ForkWatch()
+        #: Highest event sequence folded in (absorbed *or* quarantined).
+        self.applied_seq = -1
+        self.events = 0
+        self.payments = 0
+        self.validations = 0
+        self.quarantined: Dict[str, int] = {}
+        #: Table II-shaped delivery tallies: category -> [submitted, delivered].
+        self.delivery: Dict[str, List[int]] = {
+            "cross_currency": [0, 0],
+            "single_currency": [0, 0],
+        }
+
+    # Folding -----------------------------------------------------------------
+
+    def absorb(self, event: IngestEvent) -> None:
+        """Fold one accepted event in; raises PoisonEventError on garbage.
+
+        The caller (pipeline or replay) must route a poison event to
+        :meth:`note_quarantined` instead — either way ``applied_seq``
+        advances, so a snapshot cut covers every decided event.
+        """
+        validate_event_body(event)
+        if event.kind == KIND_PAYMENT:
+            self._absorb_payment(event.body)
+        elif event.kind == KIND_VALIDATION:
+            self._absorb_validation(event.body)
+        self.events += 1
+        self.applied_seq = event.seq
+
+    def _absorb_payment(self, body: dict) -> None:
+        self.payments += 1
+        category = "cross_currency" if body["cc"] else "single_currency"
+        row = self.delivery[category]
+        row[0] += 1
+        delivered = bool(body["ok"])
+        if delivered:
+            row[1] += 1
+            # The fingerprint indexes mirror the batch dataset, which is
+            # delivered-payments-only — failed payments never reached the
+            # public ledger the paper's observer reads.
+            amount = float(body["a"])
+            timestamp = int(body["t"])
+            for index in self.indexes:
+                index.absorb(amount, timestamp, body["c"], body["d"])
+
+    def _absorb_validation(self, body: dict) -> None:
+        self.validations += 1
+        if self.fork_watch.absorb(body):
+            METRICS.count("online.forks")
+
+    def note_quarantined(self, event: IngestEvent, reason: str) -> None:
+        """Record a poison event without absorbing it (still advances)."""
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+        self.events += 1
+        self.applied_seq = event.seq
+
+    # Reads -------------------------------------------------------------------
+
+    @property
+    def quarantined_total(self) -> int:
+        return sum(self.quarantined.values())
+
+    def figure3_rows(self) -> List[Tuple[str, int, float]]:
+        """(label, identified, IG%) per feature list, in Fig. 3 order."""
+        delivered = (
+            self.delivery["cross_currency"][1]
+            + self.delivery["single_currency"][1]
+        )
+        return [
+            (
+                index.feature_list.label(),
+                index.unique,
+                index.information_gain(delivered),
+            )
+            for index in self.indexes
+        ]
+
+    def delivery_rows(self) -> List[Tuple[str, int, int]]:
+        """(category, submitted, delivered) in a stable order + total."""
+        cross = self.delivery["cross_currency"]
+        single = self.delivery["single_currency"]
+        return [
+            ("Cross-currency", cross[0], cross[1]),
+            ("Single-currency", single[0], single[1]),
+            ("Total", cross[0] + single[0], cross[1] + single[1]),
+        ]
+
+    # Serialization -----------------------------------------------------------
+
+    def payload(self) -> dict:
+        return {
+            "state_version": STATE_VERSION,
+            "applied_seq": self.applied_seq,
+            "events": self.events,
+            "payments": self.payments,
+            "validations": self.validations,
+            "quarantined": dict(sorted(self.quarantined.items())),
+            "delivery": {k: list(v) for k, v in sorted(self.delivery.items())},
+            "figure3": [index.payload() for index in self.indexes],
+            "fork_watch": self.fork_watch.payload(),
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def digest(self) -> str:
+        """sha256 over the canonical serialized state — the drill's bit."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "OnlineState":
+        if payload.get("state_version") != STATE_VERSION:
+            raise IngestError(
+                f"unsupported state version {payload.get('state_version')!r}"
+            )
+        figure3 = payload["figure3"]
+        if len(figure3) != len(FIGURE3_FEATURE_LISTS):
+            raise IngestError("snapshot has a different feature-list set")
+        state = cls(
+            fork_watch=ForkWatch.from_payload(payload["fork_watch"])
+        )
+        for index, entry, feature_list in zip(
+            range(len(figure3)), figure3, FIGURE3_FEATURE_LISTS
+        ):
+            if entry.get("label") != feature_list.label():
+                raise IngestError(
+                    f"snapshot feature list {index} is {entry.get('label')!r},"
+                    f" expected {feature_list.label()!r}"
+                )
+            state.indexes[index] = OnlineFingerprintIndex.from_payload(
+                feature_list, entry
+            )
+        state.applied_seq = int(payload["applied_seq"])
+        state.events = int(payload["events"])
+        state.payments = int(payload["payments"])
+        state.validations = int(payload["validations"])
+        state.quarantined = {
+            str(k): int(v) for k, v in payload["quarantined"].items()
+        }
+        state.delivery = {
+            str(k): [int(x) for x in v]
+            for k, v in payload["delivery"].items()
+        }
+        return state
+
+    def summary(self) -> str:
+        """Human-readable status block (CLI + live_status op)."""
+        lines = [
+            f"events {self.events} (payments {self.payments}, "
+            f"validations {self.validations}, quarantined "
+            f"{self.quarantined_total})",
+            f"applied_seq {self.applied_seq}",
+        ]
+        for category, submitted, delivered in self.delivery_rows():
+            rate = 100.0 * delivered / submitted if submitted else 0.0
+            lines.append(
+                f"  {category:16s} {delivered}/{submitted} delivered "
+                f"({rate:.1f}%)"
+            )
+        for label, identified, gain in self.figure3_rows():
+            lines.append(f"  IG {label:28s} {identified:8d}  {gain:6.2f}%")
+        if self.fork_watch.forked:
+            lines.append(f"  FORKED sequences: {self.fork_watch.forked}")
+        return "\n".join(lines)

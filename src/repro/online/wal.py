@@ -1,0 +1,324 @@
+"""The segmented write-ahead log: accepted means fsynced.
+
+Layout, under ``<state-dir>/wal``::
+
+    wal-0000000000.jsonl          # events seq 0..N-1, one JSON line each
+    wal-0000000000.jsonl.sha256   # sidecar: segment is *sealed* (immutable)
+    wal-0000001024.jsonl          # the active segment (no sidecar yet)
+
+Segments are named by the first sequence number they contain.  An event
+is **accepted** once its line is written *and fsynced* to the active
+segment — only then may the source be acknowledged or the event applied
+to state.  When a segment reaches the rotation threshold it is sealed:
+fsynced, closed, and given a ``.sha256`` sidecar via the durability
+layer's atomic manifest write.  Sealing happens *before* the next
+segment opens, so at most one segment — the last — can ever lack a
+verified sidecar after a crash.
+
+Recovery walks segments in order: sealed segments must verify against
+their sidecars (a mismatch means disk corruption, not a crash; the
+segment and everything after it is discarded and recovery falls back to
+an older snapshot); the trailing unsealed segment is read tolerantly —
+a torn final line (the write ``kill -9`` interrupted) is dropped and the
+file truncated back to the last complete line before appends resume.
+Dropped torn bytes were never acknowledged, so no accepted event is
+lost.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+from typing import List, Optional, Tuple
+
+from repro.durability.atomic import (
+    manifest_path,
+    verify_manifest,
+    write_manifest,
+)
+from repro.errors import IngestError, IntegrityError
+from repro.obs.metrics import METRICS
+from repro.online.events import IngestEvent, decode_event, encode_event
+
+#: Manifest format tag for sealed WAL segments.
+WAL_FORMAT = "repro-wal/1"
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{10})\.jsonl$")
+
+
+def segment_name(first_seq: int) -> str:
+    return f"wal-{first_seq:010d}.jsonl"
+
+
+def _segment_first_seq(path: str) -> int:
+    return int(_SEGMENT_RE.match(os.path.basename(path)).group(1))
+
+
+class WriteAheadLog:
+    """Append-only event log with size-bounded, sealed segments."""
+
+    def __init__(
+        self,
+        directory: str,
+        segment_events: int = 1024,
+        fsync: bool = True,
+    ):
+        if segment_events <= 0:
+            raise IngestError("WAL segment_events must be positive")
+        self.directory = directory
+        self.segment_events = segment_events
+        self.fsync = fsync
+        os.makedirs(directory, exist_ok=True)
+        self._handle = None
+        self._active_path: Optional[str] = None
+        self._active_count = 0
+        self._next_seq = 0
+
+    # Introspection -----------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next appended event must carry."""
+        return self._next_seq
+
+    def segment_paths(self) -> List[str]:
+        """All segment files, ordered by first sequence number."""
+        found = []
+        for path in glob.glob(os.path.join(self.directory, "wal-*.jsonl")):
+            if _SEGMENT_RE.match(os.path.basename(path)):
+                found.append(path)
+        return sorted(found)
+
+    def segment_count(self) -> int:
+        return len(self.segment_paths())
+
+    # Recovery ----------------------------------------------------------------
+
+    def recover(self) -> List[IngestEvent]:
+        """Replayable events from disk, in order; prepares for appends.
+
+        Verifies every sealed segment against its sidecar; at the first
+        segment that fails verification, decodes garbage, or leaves a
+        sequence gap, that segment and everything after it are discarded
+        (``online.wal.segments_discarded``) — replay then covers a
+        shorter prefix and the caller's snapshot fallback covers the
+        difference.  The trailing unsealed segment tolerates exactly one
+        torn final line, which is truncated away
+        (``online.wal.torn_tail_dropped``).  After recovery the log is
+        positioned to append event ``next_seq``.
+        """
+        self._close_active()
+        events: List[IngestEvent] = []
+        paths = self.segment_paths()
+        keep: List[str] = []
+        discard_from: Optional[int] = None
+        reason = ""
+        for index, path in enumerate(paths):
+            first_seq = _segment_first_seq(path)
+            expect = self._tail_seq(events) if events else first_seq
+            sealed = os.path.exists(manifest_path(path))
+            last = index == len(paths) - 1
+            try:
+                if first_seq != expect:
+                    raise IngestError(
+                        f"segment starts at seq {first_seq}, expected {expect}"
+                    )
+                if sealed:
+                    verify_manifest(path, required=True)
+                segment_events, good_bytes, torn = self._read_segment(
+                    path, expect_seq=expect
+                )
+            except (IntegrityError, IngestError, OSError) as exc:
+                discard_from, reason = index, str(exc)
+                break
+            if torn:
+                if sealed or not last:
+                    # A torn line inside a sealed or non-final segment
+                    # cannot be a crash artifact — treat as corruption.
+                    discard_from = index
+                    reason = "torn line inside a sealed/non-final segment"
+                    break
+                METRICS.count("online.wal.torn_tail_dropped")
+                with open(path, "rb+") as handle:
+                    handle.truncate(good_bytes)
+            events.extend(segment_events)
+            keep.append(path)
+        if discard_from is not None:
+            discarded = paths[discard_from:]
+            METRICS.count("online.wal.segments_discarded", len(discarded))
+            print(
+                f"wal: discarding {len(discarded)} segment(s) from "
+                f"{os.path.basename(paths[discard_from])}: {reason}",
+                file=sys.stderr,
+            )
+            for stale in discarded:
+                self._remove_segment(stale)
+        if events:
+            self._next_seq = self._tail_seq(events)
+        elif keep:
+            # The only kept segment was truncated to nothing (torn first
+            # line): the next append continues at its declared first seq.
+            self._next_seq = _segment_first_seq(keep[-1])
+        # Reopen the trailing unsealed segment for append, so post-crash
+        # events continue the same segment the crash interrupted.
+        if keep and not os.path.exists(manifest_path(keep[-1])):
+            self._active_path = keep[-1]
+            self._active_count = self._count_lines(keep[-1])
+            self._handle = open(keep[-1], "ab")
+        return events
+
+    def start_at(self, seq: int) -> None:
+        """Advance ``next_seq`` to ``seq`` (resume past a pruned prefix).
+
+        Only meaningful when the WAL holds nothing newer: a snapshot may
+        cover every event the (fully pruned) log ever held, in which case
+        appends must continue from the snapshot's frontier, not from 0.
+        """
+        if seq > self._next_seq:
+            if self._handle is not None:
+                raise IngestError("cannot skip ahead past an active segment")
+            self._next_seq = seq
+
+    def reset_to(self, seq: int) -> None:
+        """Drop the whole log and resume appends at ``seq``.
+
+        Only legal when a verified snapshot covers at least through
+        ``seq - 1`` — every surviving segment is then redundant with the
+        snapshot and recovery never needs to replay it.
+        """
+        self._close_active()
+        removed = 0
+        for path in self.segment_paths():
+            self._remove_segment(path)
+            removed += 1
+        if removed:
+            METRICS.count("online.wal.resets")
+        self._next_seq = seq
+
+    @staticmethod
+    def _tail_seq(events: List[IngestEvent]) -> int:
+        return events[-1].seq + 1 if events else 0
+
+    def _read_segment(
+        self, path: str, expect_seq: int
+    ) -> Tuple[List[IngestEvent], int, bool]:
+        """(events, clean-byte-length, torn?) for one segment file."""
+        events: List[IngestEvent] = []
+        good_bytes = 0
+        torn = False
+        with open(path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    torn = True
+                    break
+                try:
+                    event = decode_event(raw.decode("utf-8").strip())
+                except (IngestError, UnicodeDecodeError):
+                    torn = True
+                    break
+                if event.seq != expect_seq:
+                    raise IngestError(
+                        f"WAL segment {os.path.basename(path)}: expected "
+                        f"seq {expect_seq}, found {event.seq}"
+                    )
+                events.append(event)
+                expect_seq += 1
+                good_bytes += len(raw)
+        return events, good_bytes, torn
+
+    @staticmethod
+    def _count_lines(path: str) -> int:
+        with open(path, "rb") as handle:
+            return sum(1 for _ in handle)
+
+    def _remove_segment(self, path: str) -> None:
+        for stale in (path, manifest_path(path)):
+            try:
+                os.remove(stale)
+            except OSError:
+                pass
+
+    # Appends -----------------------------------------------------------------
+
+    def append(self, event: IngestEvent) -> None:
+        """Durably log one event; returns only once it is accepted."""
+        if event.seq != self._next_seq:
+            raise IngestError(
+                f"WAL append out of order: expected seq {self._next_seq}, "
+                f"got {event.seq}"
+            )
+        if self._handle is None:
+            self._open_segment(event.seq)
+        self._handle.write((encode_event(event) + "\n").encode("utf-8"))
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._active_count += 1
+        self._next_seq = event.seq + 1
+        METRICS.count("online.wal.appended")
+        if self._active_count >= self.segment_events:
+            self.seal_active()
+
+    def _open_segment(self, first_seq: int) -> None:
+        self._active_path = os.path.join(
+            self.directory, segment_name(first_seq)
+        )
+        self._active_count = 0
+        self._handle = open(self._active_path, "ab")
+
+    def seal_active(self) -> None:
+        """Seal the active segment (fsync + sha256 sidecar), if any."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        self._handle = None
+        write_manifest(
+            self._active_path, records=self._active_count, fmt=WAL_FORMAT
+        )
+        METRICS.count("online.wal.segments_sealed")
+        self._active_path = None
+        self._active_count = 0
+
+    def _close_active(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._active_path = None
+        self._active_count = 0
+
+    def close(self) -> None:
+        """Release the active file handle without sealing (crash-like)."""
+        self._close_active()
+
+    # Pruning -----------------------------------------------------------------
+
+    def prune_through(self, seq: int) -> int:
+        """Remove sealed segments fully covered by a snapshot at ``seq``.
+
+        A segment is removable when every event it contains has sequence
+        number ``<= seq`` — i.e. the *next* segment starts at or below
+        ``seq + 1``.  The active segment is never pruned.
+        """
+        paths = self.segment_paths()
+        removed = 0
+        for index, path in enumerate(paths):
+            if path == self._active_path:
+                break
+            if not os.path.exists(manifest_path(path)):
+                break
+            if index + 1 < len(paths):
+                next_first = _segment_first_seq(paths[index + 1])
+            else:
+                next_first = self._next_seq
+            if next_first <= seq + 1:
+                self._remove_segment(path)
+                removed += 1
+            else:
+                break
+        if removed:
+            METRICS.count("online.wal.segments_pruned", removed)
+        return removed

@@ -91,6 +91,13 @@ class ServeClient:
     def shutdown(self) -> Dict[str, Any]:
         return self.call({"op": "shutdown"})
 
+    def live_status(self, state_dir: Optional[str] = None) -> Dict[str, Any]:
+        """Read a live ingest pipeline's status through the daemon."""
+        payload: Dict[str, Any] = {"op": "live_status"}
+        if state_dir is not None:
+            payload["state_dir"] = state_dir
+        return self.call(payload)
+
     def wait_ready(self, attempts: int = 100, delay: float = 0.1) -> None:
         """Block until the daemon answers a ping (startup races, drills)."""
         last: Optional[Exception] = None

@@ -7,7 +7,9 @@ tests, and from the :mod:`repro.serve.client` helper alike:
 * the client sends **one line** of JSON: an object naming the artifact
   (``"artifact"``) plus any :class:`~repro.api.request.ArtifactRequest`
   fields, or a control operation (``{"op": "ping"}``, ``{"op":
-  "stats"}``, ``{"op": "shutdown"}``);
+  "stats"}``, ``{"op": "shutdown"}``, ``{"op": "live_status",
+  "state_dir": "..."}``) — control ops may carry extra parameters,
+  returned to the dispatcher alongside the op name;
 * the server replies with **one line** of JSON — a
   :class:`~repro.api.registry.ResultEnvelope` dict for artifact
   requests, a small status object for control ops — and closes.
@@ -27,15 +29,22 @@ from repro.api.request import ArtifactRequest, RequestError
 MAX_LINE_BYTES = 1 << 20
 
 #: Control operations the daemon answers besides artifact requests.
-CONTROL_OPS = ("ping", "stats", "shutdown")
+CONTROL_OPS = ("ping", "stats", "shutdown", "live_status")
 
 
 class CodecError(RequestError):
     """A wire line that cannot be decoded into a request."""
 
 
-def decode_request(line: str) -> Tuple[str, Optional[ArtifactRequest]]:
-    """``(op, request)`` from one wire line; request is None for control ops."""
+def decode_request(
+    line: str,
+) -> Tuple[str, Optional[ArtifactRequest], Dict[str, Any]]:
+    """``(op, request, params)`` from one wire line.
+
+    ``request`` is None for control ops; ``params`` carries the leftover
+    payload fields (``live_status`` reads ``state_dir`` from it) and is
+    empty for artifact requests.
+    """
     if len(line) > MAX_LINE_BYTES:
         raise CodecError(f"request line exceeds {MAX_LINE_BYTES} bytes")
     try:
@@ -46,12 +55,12 @@ def decode_request(line: str) -> Tuple[str, Optional[ArtifactRequest]]:
         raise CodecError("request must be a JSON object")
     op = payload.pop("op", "artifact")
     if op in CONTROL_OPS:
-        return op, None
+        return op, None, payload
     if op != "artifact":
         raise CodecError(
             f"unknown op {op!r}; known: artifact, {', '.join(CONTROL_OPS)}"
         )
-    return op, ArtifactRequest.from_dict(payload)
+    return op, ArtifactRequest.from_dict(payload), {}
 
 
 def encode_request(payload: Dict[str, Any]) -> bytes:

@@ -68,12 +68,17 @@ class ArtifactServer:
         cache_dir: Optional[str] = None,
         store: Optional[ResultStore] = None,
         default_jobs: Optional[int] = None,
+        ingest_state_dir: Optional[str] = None,
         log=None,
     ):
         self.store = store if store is not None else ResultStore(cache_dir)
         self.flights = SingleFlight()
         self.default_jobs = default_jobs
+        self.ingest_state_dir = ingest_state_dir
         self._log = log if log is not None else sys.stderr
+        self._active = 0
+        self._active_lock = threading.Lock()
+        self._idle = threading.Condition(self._active_lock)
         METRICS.enable()
         swept = self.store.sweep()
         if swept:
@@ -186,6 +191,38 @@ class ArtifactServer:
             "in_flight": self.flights.in_flight(),
         }
 
+    def live_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """The newest status an ingest pipeline wrote under a state dir.
+
+        ``state_dir`` comes from the request, falling back to the
+        daemon's ``--ingest-state-dir``; the response is the pipeline's
+        own atomic ``status.json`` payload (applied_seq, lag counters,
+        restarts, snapshot frontier) passed through verbatim.
+        """
+        from repro.errors import IngestError
+        from repro.online.pipeline import read_status
+
+        state_dir = params.get("state_dir") or self.ingest_state_dir
+        if not state_dir:
+            return {
+                "status": "error",
+                "op": "live_status",
+                "error": "no state_dir: pass one in the request or start "
+                         "the daemon with --ingest-state-dir",
+            }
+        try:
+            payload = read_status(str(state_dir))
+        except IngestError as exc:
+            METRICS.count("serve.live_status.misses")
+            return {"status": "error", "op": "live_status", "error": str(exc)}
+        METRICS.count("serve.live_status.reads")
+        return {
+            "status": "ok",
+            "op": "live_status",
+            "state_dir": str(state_dir),
+            "ingest": payload,
+        }
+
     def ping(self) -> Dict[str, Any]:
         from repro.api import names
 
@@ -196,12 +233,35 @@ class ArtifactServer:
             "artifacts": names(),
         }
 
+    # Drain accounting --------------------------------------------------------
+
+    def track(self):
+        """Context manager counting one in-flight connection (drain waits)."""
+        return _Tracked(self)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait for in-flight requests to finish; True when fully idle.
+
+        Called after the listener stops accepting: single-flight leaders
+        (and the followers waiting on them) run to completion instead of
+        dying mid-compute with the process.
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    METRICS.count("serve.drain.timeouts")
+                    return False
+                self._idle.wait(remaining)
+        return True
+
     # Wire dispatch -----------------------------------------------------------
 
     def respond(self, line: str) -> Tuple[bytes, bool]:
         """(response bytes, shutdown?) for one decoded wire line."""
         try:
-            op, request = decode_request(line)
+            op, request, params = decode_request(line)
         except (CodecError, AnalysisError) as exc:
             METRICS.count("serve.errors")
             return encode_response({"status": "error", "error": str(exc)}), False
@@ -209,6 +269,8 @@ class ArtifactServer:
             return encode_response(self.ping()), False
         if op == "stats":
             return encode_response(self.stats()), False
+        if op == "live_status":
+            return encode_response(self.live_status(params)), False
         if op == "shutdown":
             self.log("shutdown requested")
             return (
@@ -216,6 +278,24 @@ class ArtifactServer:
                 True,
             )
         return encode_response(self.handle_request(request)), False
+
+
+class _Tracked:
+    """RAII in-flight counter for :meth:`ArtifactServer.track`."""
+
+    def __init__(self, app: ArtifactServer):
+        self.app = app
+
+    def __enter__(self) -> "_Tracked":
+        with self.app._idle:
+            self.app._active += 1
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        with self.app._idle:
+            self.app._active -= 1
+            if self.app._active == 0:
+                self.app._idle.notify_all()
 
 
 # Socket layer ---------------------------------------------------------------
@@ -226,11 +306,12 @@ class _Handler(socketserver.StreamRequestHandler):
         line = self.rfile.readline(MAX_LINE_BYTES + 2)
         if not line:
             return
-        response, shutdown = self.server.app.respond(
-            line.decode("utf-8", errors="replace").strip()
-        )
-        self.wfile.write(response)
-        self.wfile.flush()
+        with self.server.app.track():
+            response, shutdown = self.server.app.respond(
+                line.decode("utf-8", errors="replace").strip()
+            )
+            self.wfile.write(response)
+            self.wfile.flush()
         if shutdown:
             # shutdown() blocks until serve_forever exits; calling it from
             # the handler thread directly would deadlock the accept loop.
@@ -318,17 +399,46 @@ def run_server(
     socket_path: Optional[str] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    drain_timeout: float = 30.0,
 ) -> int:
-    """Serve until shutdown (op or Ctrl-C); returns an exit status."""
+    """Serve until shutdown (op, SIGTERM, or Ctrl-C); returns exit status.
+
+    Shutdown is a *graceful drain*: the listener stops accepting first,
+    then in-flight requests — including single-flight compute leaders —
+    run to completion (bounded by ``drain_timeout``) before the process
+    exits 0.
+    """
+    import signal
+
     server = make_server(app, socket_path=socket_path, host=host, port=port)
     where = socket_path or "%s:%d" % server.server_address[:2]
     app.log(f"listening on {where} (cache {app.store.root})")
+
+    def _term(_signum, _frame):  # pragma: no cover - exercised via drill
+        app.log("SIGTERM — draining")
+        # shutdown() blocks until serve_forever acknowledges; the signal
+        # handler runs *in* serve_forever's thread, so hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    registered = False
+    if threading.current_thread() is threading.main_thread():
+        previous = signal.signal(signal.SIGTERM, _term)
+        registered = True
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         app.log("interrupted")
     finally:
+        if registered:
+            signal.signal(signal.SIGTERM, previous)
+        # Close the listener before draining: no new connections are
+        # accepted while in-flight ones finish.
         server.server_close()
+        if not app.drain(timeout=drain_timeout):
+            app.log(
+                f"drain timed out after {drain_timeout:.0f}s with "
+                f"{app._active} request(s) still in flight"
+            )
         if socket_path and os.path.exists(socket_path):
             try:
                 os.remove(socket_path)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StreamError
+from repro.obs.metrics import METRICS
 from repro.stream.events import StreamEvent
 
 
@@ -32,6 +33,14 @@ class StreamCollector:
     are dropped and counted in ``duplicates_dropped`` — required when the
     upstream :class:`~repro.stream.server.StreamServer` reconnects after
     an injected disconnect and replays its buffer.
+
+    Dedupe memory is **bounded**: replay only ever redelivers recent
+    events (a reconnect replays the server's buffer, not all of
+    history), so keys older than ``dedupe_horizon`` stream-seconds
+    behind the newest received time are evicted, and the whole table is
+    dropped once the stream moves past ``window_end`` — a season-long
+    collection no longer holds every signature it ever saw.  Evictions
+    are counted in ``dedupe_evicted`` and ``stream.dedupe.evicted``.
     """
 
     #: Inclusive collection window in stream time; None = unbounded.
@@ -42,12 +51,18 @@ class StreamCollector:
     #: validation stream legitimately carries repeated signatures, and the
     #: paper's total-pages counts keep their multiplicity.
     dedupe: bool = False
+    #: Evict dedupe keys once the stream has advanced this many seconds
+    #: past them; None keeps keys until the window closes.
+    dedupe_horizon: Optional[int] = None
     #: Optional chaos injector notified of dropped duplicates.
     chaos: Optional[object] = None
     duplicates_dropped: int = 0
-    _seen: Set[Tuple[str, int, bytes, int]] = field(
-        default_factory=set, repr=False
+    dedupe_evicted: int = 0
+    #: key -> received_at of the last sighting (the eviction clock).
+    _seen: Dict[Tuple[str, int, bytes, int], int] = field(
+        default_factory=dict, repr=False
     )
+    _evict_watermark: Optional[int] = field(default=None, repr=False)
 
     def __call__(self, event: StreamEvent) -> None:
         self.record(event)
@@ -63,6 +78,12 @@ class StreamCollector:
         if self.window_start is not None and event.received_at < self.window_start:
             return
         if self.window_end is not None and event.received_at > self.window_end:
+            # The window is closed for good (stream time only advances):
+            # nothing will be recorded again, so the dedupe table is
+            # dead weight — drop it all at once.
+            if self._seen:
+                self._evict(len(self._seen))
+                self._seen.clear()
             return
         if self.dedupe:
             key = (
@@ -72,12 +93,43 @@ class StreamCollector:
                 event.validation.sign_time,
             )
             if key in self._seen:
+                self._seen[key] = event.received_at
                 self.duplicates_dropped += 1
                 if self.chaos is not None:
                     self.chaos.note_duplicate_dropped()
                 return
-            self._seen.add(key)
+            self._seen[key] = event.received_at
+            self._sweep_seen(event.received_at)
         self.events.append(event)
+
+    def _evict(self, count: int) -> None:
+        self.dedupe_evicted += count
+        METRICS.count("stream.dedupe.evicted", count)
+
+    def _sweep_seen(self, now: int) -> None:
+        """Amortized horizon eviction: one O(n) sweep per horizon advance.
+
+        Runs only when stream time has moved a full horizon past the
+        last sweep, so per-event cost stays O(1) amortized while the
+        table never holds keys older than ~2 horizons.
+        """
+        horizon = self.dedupe_horizon
+        if horizon is None:
+            return
+        if self._evict_watermark is None:
+            self._evict_watermark = now
+            return
+        if now - self._evict_watermark < horizon:
+            return
+        cutoff = now - horizon
+        stale = [
+            key for key, seen_at in self._seen.items() if seen_at < cutoff
+        ]
+        for key in stale:
+            del self._seen[key]
+        if stale:
+            self._evict(len(stale))
+        self._evict_watermark = now
 
     # Aggregations --------------------------------------------------------------
 

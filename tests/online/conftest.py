@@ -1,0 +1,30 @@
+"""Shared fixtures for the online-ingest tests.
+
+The expensive pieces — a synthetic history and its dumped archive — are
+session-scoped; each test gets its own state directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.archive import dump_archive
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    """Online components tick the global registry; isolate each test."""
+    METRICS.reset()
+    METRICS.enable()
+    yield
+    METRICS.disable()
+    METRICS.reset()
+
+
+@pytest.fixture(scope="session")
+def archive_path(history, tmp_path_factory):
+    """A dumped archive of the first 1000 session-history payments."""
+    path = str(tmp_path_factory.mktemp("online") / "ledger.jsonl.gz")
+    dump_archive(history.records[:1000], path)
+    return path

@@ -1,0 +1,175 @@
+"""The serve ↔ ingest seam: live_status op, graceful drain, wire codec."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.online import IngestConfig, IngestPipeline
+from repro.serve.client import ServeClient
+from repro.serve.codec import CodecError, decode_request
+from repro.serve.daemon import ArtifactServer, make_server
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _server(tmp_path, **kwargs) -> ArtifactServer:
+    kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    kwargs.setdefault("log", io.StringIO())
+    return ArtifactServer(**kwargs)
+
+
+def _drained_state_dir(tmp_path) -> str:
+    """A state dir with a real status.json, as `repro ingest` leaves it."""
+    state_dir = str(tmp_path / "ingest-state")
+    pipeline = IngestPipeline(IngestConfig(state_dir=state_dir, fsync=False))
+    pipeline.recover()
+    pipeline.run(iter(()))
+    return state_dir
+
+
+class TestCodec:
+    def test_control_op_carries_params(self):
+        op, request, params = decode_request(
+            '{"op": "live_status", "state_dir": "/x"}'
+        )
+        assert op == "live_status"
+        assert request is None
+        assert params == {"state_dir": "/x"}
+
+    def test_artifact_request_has_no_params(self):
+        op, request, params = decode_request('{"artifact": "fig3", "seed": 3}')
+        assert op == "artifact"
+        assert request.name == "fig3"
+        assert params == {}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CodecError, match="unknown op"):
+            decode_request('{"op": "flood"}')
+
+
+class TestLiveStatus:
+    def test_no_state_dir_is_an_error(self, tmp_path):
+        response = _server(tmp_path).live_status({})
+        assert response["status"] == "error"
+        assert "no state_dir" in response["error"]
+
+    def test_missing_status_file_is_an_error(self, tmp_path):
+        server = _server(tmp_path, ingest_state_dir=str(tmp_path / "nowhere"))
+        response = server.live_status({})
+        assert response["status"] == "error"
+        assert METRICS.counters["serve.live_status.misses"] == 1
+
+    def test_reads_pipeline_status(self, tmp_path):
+        state_dir = _drained_state_dir(tmp_path)
+        server = _server(tmp_path, ingest_state_dir=state_dir)
+        response = server.live_status({})
+        assert response["status"] == "ok"
+        assert response["ingest"]["phase"] == "drained"
+        assert response["ingest"]["applied_seq"] == -1
+        assert METRICS.counters["serve.live_status.reads"] == 1
+
+    def test_request_state_dir_overrides_default(self, tmp_path):
+        state_dir = _drained_state_dir(tmp_path)
+        server = _server(tmp_path, ingest_state_dir=str(tmp_path / "other"))
+        response = server.live_status({"state_dir": state_dir})
+        assert response["status"] == "ok"
+        assert response["state_dir"] == state_dir
+
+    def test_round_trip_over_socket(self, tmp_path):
+        state_dir = _drained_state_dir(tmp_path)
+        app = _server(tmp_path, ingest_state_dir=state_dir)
+        server = make_server(app, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.05}
+        )
+        thread.start()
+        try:
+            client = ServeClient(port=port, timeout=10)
+            client.wait_ready(attempts=50, delay=0.05)
+            response = client.live_status()
+            assert response["status"] == "ok"
+            assert response["ingest"]["phase"] == "drained"
+        finally:
+            server.shutdown()
+            thread.join(5)
+            server.server_close()
+
+
+class TestDrain:
+    def test_idle_drain_returns_immediately(self, tmp_path):
+        assert _server(tmp_path).drain(timeout=0.1) is True
+
+    def test_drain_waits_for_tracked_requests(self, tmp_path):
+        server = _server(tmp_path)
+        release = threading.Event()
+
+        def slow_request():
+            with server.track():
+                release.wait(5)
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        while server._active == 0:
+            time.sleep(0.005)
+        # Still in flight: a short drain must time out and say so.
+        assert server.drain(timeout=0.05) is False
+        assert METRICS.counters["serve.drain.timeouts"] == 1
+        release.set()
+        assert server.drain(timeout=5.0) is True
+        thread.join(5)
+
+
+class TestSigtermDrain:
+    """`repro serve` under SIGTERM: stop accepting, finish, exit 0."""
+
+    def test_sigterm_exits_zero_and_removes_socket(self, tmp_path):
+        socket_path = str(tmp_path / "serve.sock")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path,
+             "--cache-dir", str(tmp_path / "cache"),
+             "--drain-timeout", "5"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                if os.path.exists(socket_path):
+                    try:
+                        probe = socket.socket(socket.AF_UNIX,
+                                              socket.SOCK_STREAM)
+                        probe.connect(socket_path)
+                        probe.sendall(b'{"op": "ping"}\n')
+                        if probe.makefile().readline():
+                            probe.close()
+                            break
+                        probe.close()
+                    except OSError:
+                        pass
+                time.sleep(0.05)
+            else:
+                pytest.fail("daemon never became ready")
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=20) == 0
+            assert not os.path.exists(socket_path)
+            output = process.stdout.read().decode("utf-8", "replace")
+            assert "SIGTERM" in output and "draining" in output
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(5)

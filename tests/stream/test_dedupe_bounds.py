@@ -1,0 +1,122 @@
+"""Bounded dedupe memory: horizon eviction and window-close teardown.
+
+A season-long collection must not hold every signature it ever saw just
+to drop reconnect replays — replays only redeliver *recent* events, so
+the dedupe table may forget anything a full horizon behind stream time.
+"""
+
+import pytest
+
+from repro.consensus.proposals import Validation
+from repro.obs.metrics import METRICS
+from repro.stream.collector import StreamCollector
+from repro.stream.events import StreamEvent
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    METRICS.reset()
+    METRICS.enable()
+    yield
+    METRICS.disable()
+    METRICS.reset()
+
+
+def event(name="v", sequence=1, received_at=0):
+    return StreamEvent(
+        validation=Validation(
+            validator=name,
+            sequence=sequence,
+            page_hash=bytes([sequence % 256]) * 32,
+            sign_time=received_at,
+        ),
+        received_at=received_at,
+    )
+
+
+class TestHorizonEviction:
+    def test_old_keys_are_evicted(self):
+        collector = StreamCollector(dedupe=True, dedupe_horizon=10)
+        for i in range(50):
+            collector.record(event(sequence=i, received_at=i))
+        # The sweep is amortized: the table holds at most ~2 horizons.
+        assert len(collector._seen) <= 21
+        assert collector.dedupe_evicted >= 29
+        assert len(collector.events) == 50
+        assert METRICS.counters["stream.dedupe.evicted"] == (
+            collector.dedupe_evicted
+        )
+
+    def test_recent_replays_still_dropped(self):
+        collector = StreamCollector(dedupe=True, dedupe_horizon=10)
+        for i in range(30):
+            collector.record(event(sequence=i, received_at=i))
+        # A reconnect replays the recent buffer — the same validations
+        # (same sign_time), just redelivered later.
+        for i in range(25, 30):
+            collector.record(StreamEvent(
+                validation=Validation(
+                    validator="v", sequence=i,
+                    page_hash=bytes([i % 256]) * 32, sign_time=i,
+                ),
+                received_at=30,
+            ))
+        assert collector.duplicates_dropped == 5
+        assert len(collector.events) == 30
+
+    def test_evicted_key_readmits_the_event(self):
+        # Forgetting an ancient key means an (implausible) ancient replay
+        # would be re-recorded — the documented trade for bounded memory.
+        collector = StreamCollector(dedupe=True, dedupe_horizon=5)
+        collector.record(event(sequence=1, received_at=0))
+        for i in range(2, 30):
+            collector.record(event(sequence=i, received_at=i))
+        assert len(collector._seen) < 29
+        collector.record(event(sequence=1, received_at=0))
+        assert collector.duplicates_dropped == 0
+        assert len(collector.events) == 30
+
+    def test_duplicate_sighting_refreshes_the_clock(self):
+        collector = StreamCollector(dedupe=True, dedupe_horizon=10)
+        collector.record(event(sequence=1, received_at=0))
+        # Keep re-seeing the same key as time advances; it must survive
+        # sweeps because its last sighting is always recent.
+        for now in range(1, 40):
+            replay = StreamEvent(
+                validation=Validation(
+                    validator="v", sequence=1,
+                    page_hash=bytes([1]) * 32, sign_time=0,
+                ),
+                received_at=now,
+            )
+            collector.record(replay)
+            collector.record(event(sequence=now + 1, received_at=now))
+        assert collector.duplicates_dropped == 39
+
+    def test_no_horizon_means_no_eviction(self):
+        collector = StreamCollector(dedupe=True)
+        for i in range(100):
+            collector.record(event(sequence=i, received_at=i))
+        assert len(collector._seen) == 100
+        assert collector.dedupe_evicted == 0
+
+
+class TestWindowCloseTeardown:
+    def test_table_dropped_past_window_end(self):
+        collector = StreamCollector(
+            window_end=20, dedupe=True, dedupe_horizon=100
+        )
+        for i in range(15):
+            collector.record(event(sequence=i, received_at=i))
+        assert len(collector._seen) == 15
+        collector.record(event(sequence=99, received_at=21))  # past the end
+        assert len(collector._seen) == 0
+        assert collector.dedupe_evicted == 15
+        assert len(collector.events) == 15
+        assert METRICS.counters["stream.dedupe.evicted"] == 15
+
+    def test_dedupe_off_records_nothing_in_seen(self):
+        collector = StreamCollector()
+        for i in range(10):
+            collector.record(event(sequence=i, received_at=i))
+        assert len(collector._seen) == 0

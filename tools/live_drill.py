@@ -1,0 +1,230 @@
+"""Live-ingest drill — the CI check for the crash-safe online pipeline.
+
+Exercises the event-sourcing contract against real ``repro ingest``
+processes and real ``kill -9``:
+
+1. **never-killed reference** — one uninterrupted ingest over a
+   poisoned synthetic archive (two bad lines injected among the
+   payments); its final state digest is the ground truth;
+2. **kill -9, twice** — a second ingest over the *same* archive into a
+   fresh state dir is SIGKILLed mid-stream at two different points (no
+   drain, no warning), restarted each time, and allowed to finish;
+3. **equivalence** — the killed run's digest must equal the reference
+   digest bit for bit: zero accepted events lost, zero replayed twice,
+   both poison lines quarantined exactly once;
+4. **graceful drain** — a final run receives SIGTERM mid-stream and
+   must exit 0 with a ``drained`` status file.
+
+Exit code 0 = pass, 1 = contract violation, 2 = setup failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DIGEST_RE = re.compile(r"^state digest ([0-9a-f]{64})$", re.MULTILINE)
+
+_failures: List[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        _failures.append(message)
+
+
+def env() -> Dict[str, str]:
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return merged
+
+
+def ingest_command(archive: str, state_dir: str) -> List[str]:
+    return [
+        sys.executable, "-m", "repro", "ingest",
+        "--archive", archive,
+        "--state-dir", state_dir,
+        "--snapshot-every", "150",
+        "--wal-segment-events", "64",
+        "--status-every", "25",
+    ]
+
+
+def make_poisoned_archive(workdir: str, payments: int) -> str:
+    """A synthetic archive with two poison lines spliced into the body."""
+    clean = os.path.join(workdir, "clean.jsonl.gz")
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "generate",
+            "--payments", str(payments), "--seed", "7", "--out", clean,
+        ],
+        check=True, env=env(), stdout=subprocess.DEVNULL,
+    )
+    poisoned = os.path.join(workdir, "poisoned.jsonl.gz")
+    with gzip.open(clean, "rt") as src, gzip.open(poisoned, "wt") as dst:
+        dst.write(src.readline())  # header
+        for number, line in enumerate(src):
+            if number == 40:
+                dst.write("{torn json never completed\n")
+            if number == 200:
+                dst.write('{"i": 0, "mystery": true}\n')
+            dst.write(line)
+    return poisoned
+
+
+def run_to_completion(archive: str, state_dir: str) -> Tuple[int, str]:
+    """(exit code, final digest) of an uninterrupted ingest."""
+    result = subprocess.run(
+        ingest_command(archive, state_dir),
+        env=env(), capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        print(result.stderr, file=sys.stderr)
+        return result.returncode, ""
+    match = DIGEST_RE.search(result.stdout)
+    return 0, match.group(1) if match else ""
+
+
+def read_status(state_dir: str) -> Optional[dict]:
+    try:
+        with open(os.path.join(state_dir, "status.json")) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def wait_for_progress(state_dir: str, beyond_seq: int,
+                      process: subprocess.Popen, timeout: float) -> int:
+    """Poll status.json until applied_seq passes ``beyond_seq``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"ingest exited early (code {process.returncode}) before "
+                f"reaching seq {beyond_seq}"
+            )
+        status = read_status(state_dir)
+        if status and status.get("applied_seq", -1) >= beyond_seq:
+            return status["applied_seq"]
+        time.sleep(0.02)
+    raise RuntimeError(f"never reached seq {beyond_seq} within {timeout}s")
+
+
+def kill_mid_stream(archive: str, state_dir: str, beyond_seq: int) -> int:
+    """Start an ingest, SIGKILL it once it passes ``beyond_seq``."""
+    process = subprocess.Popen(
+        ingest_command(archive, state_dir),
+        env=env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        reached = wait_for_progress(state_dir, beyond_seq, process, 120)
+    except RuntimeError:
+        if process.poll() is None:
+            process.kill()
+            process.wait(10)
+        raise
+    process.send_signal(signal.SIGKILL)
+    process.wait(10)
+    return reached
+
+
+def drill(payments: int) -> int:
+    workdir = tempfile.mkdtemp(prefix="repro-live-drill-")
+    try:
+        print("== archive with injected poison ==")
+        archive = make_poisoned_archive(workdir, payments)
+        total_events = payments + 2
+        print(f"  {payments} payments + 2 poison lines")
+
+        print("== never-killed reference run ==")
+        code, reference = run_to_completion(
+            archive, os.path.join(workdir, "reference")
+        )
+        check(code == 0 and len(reference) == 64,
+              f"reference ingest drained (digest {reference[:12]}…)")
+        ref_status = read_status(os.path.join(workdir, "reference"))
+        check(ref_status is not None and ref_status["events"] == total_events,
+              f"reference absorbed all {total_events} events")
+        check(ref_status is not None and ref_status["quarantined"] == 2,
+              "reference quarantined both poison lines")
+
+        print("== kill -9 twice, resume, finish ==")
+        killed_dir = os.path.join(workdir, "killed")
+        first = kill_mid_stream(archive, killed_dir, total_events // 4)
+        print(f"  SIGKILL #1 at applied_seq {first}")
+        second = kill_mid_stream(archive, killed_dir, total_events // 2)
+        print(f"  SIGKILL #2 at applied_seq {second}")
+        check(second > first, "the resumed run made progress before kill #2")
+        code, survived = run_to_completion(archive, killed_dir)
+        check(code == 0, "final resume ran to completion")
+        check(
+            survived == reference,
+            "killed-twice digest equals the never-killed digest "
+            f"({survived[:12]}… vs {reference[:12]}…)",
+        )
+        status = read_status(killed_dir)
+        check(status is not None and status["events"] == total_events,
+              "no accepted event was lost or double-applied")
+        check(status is not None and status["quarantined"] == 2,
+              "poison quarantined exactly once despite replays")
+        check(status is not None and status["replayed"] > 0,
+              f"recovery actually replayed the WAL tail "
+              f"(replayed={status and status['replayed']})")
+
+        print("== SIGTERM drains gracefully ==")
+        drain_dir = os.path.join(workdir, "drained")
+        process = subprocess.Popen(
+            ingest_command(archive, drain_dir),
+            env=env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        wait_for_progress(drain_dir, total_events // 4, process, 120)
+        process.send_signal(signal.SIGTERM)
+        code = process.wait(30)
+        check(code == 0, f"SIGTERM exit status is 0 (got {code})")
+        status = read_status(drain_dir)
+        check(status is not None and status["phase"] == "drained",
+              "status file records a clean drain")
+        check(status is not None and "digest" in status,
+              "drain sealed a final digest")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if _failures:
+        print(f"\nlive drill FAILED ({len(_failures)} violation(s)):")
+        for failure in _failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nlive drill passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--payments", type=int, default=2000,
+        help="synthetic archive size for the drill (default 2000)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        return drill(args.payments)
+    except (RuntimeError, subprocess.CalledProcessError) as exc:
+        print(f"live drill setup failed: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
