@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3 serve-drill live-drill
+.PHONY: test bench bench-smoke bench-node profile-fig3 trace-fig3 serve-drill live-drill cascade-drill
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -29,6 +29,12 @@ serve-drill:
 # require a digest identical to a never-killed run (tools/live_drill.py).
 live-drill:
 	$(PYTHON) tools/live_drill.py
+
+# Health-family contract check: cascade collapse curves vs committed
+# goldens, Table II's point at the final outage wave, serial == --jobs 2
+# (see tools/cascade_drill.py).
+cascade-drill:
+	$(PYTHON) tools/cascade_drill.py
 
 # fig3 with span tracing + run manifest, then schema-validate the manifest.
 trace-fig3:

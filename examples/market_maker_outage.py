@@ -2,18 +2,19 @@
 """What if the Market Makers vanished?  The Table II counterfactual.
 
 Generates a synthetic economy, snapshots it at the paper's Feb 2015 date,
-then replays every later payment twice: once on the intact network, once
-with all market makers banned from relaying and their offers removed.
+then runs a one-wave market-maker outage cascade: wave 0 replays every
+post-snapshot payment on the intact network (the control), wave 1 with
+all market makers banned from relaying and their offers removed — the
+same library path ``repro cascade`` drives, where Table II is the final
+point on the collapse curve.
 Also reports how concentrated offer placement is (the 50/75/87 % finding).
 
 Run:  python examples/market_maker_outage.py
 """
 
-from repro.analysis import (
-    offer_concentration,
-    replay_without_market_makers,
-)
+from repro.analysis import offer_concentration
 from repro.api import render_table2
+from repro.chaos.cascade import run_cascade
 from repro.synthetic import generate_history, small_config
 
 
@@ -29,12 +30,17 @@ def main() -> None:
         note = f" (paper: {paper:.0%})" if paper else ""
         print(f"  top {top_k:3d} makers place {share:.1%} of offers{note}")
 
+    # A one-wave cascade is exactly the paper's experiment: removing every
+    # maker's offers empties the books, so wave 1 reproduces the
+    # remove-the-market-makers replay bit for bit.
+    cascade = run_cascade(history, kind="outage", waves=1, pairs=0)
+    control = cascade.waves[0].delivery
+    outage = cascade.waves[1].delivery
+
     print("\nControl replay — makers intact:")
-    control = replay_without_market_makers(history, remove_market_makers=False)
     print(render_table2(control))
 
     print("\nCounterfactual replay — makers and their offers removed:")
-    outage = replay_without_market_makers(history, remove_market_makers=True)
     print(render_table2(outage))
 
     print("\nPaper's Table II: cross-currency 0%, single-currency 36.1%, "

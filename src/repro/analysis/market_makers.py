@@ -28,6 +28,7 @@ from repro.errors import AnalysisError, LedgerError, PaymentError
 from repro.ledger.accounts import AccountID
 from repro.ledger.amounts import Amount
 from repro.ledger.currency import Currency
+from repro.ledger.state import LedgerState
 from repro.payments.engine import PaymentEngine
 from repro.synthetic.generator import SyntheticHistory
 from repro.synthetic.records import OfferRecord, ReplayIntent
@@ -99,6 +100,8 @@ class ReplayResult:
 def replay_outcomes(
     history: SyntheticHistory,
     remove_market_makers: bool = True,
+    banned: Optional[Set[AccountID]] = None,
+    remove_offers_of: Optional[Set[AccountID]] = None,
 ) -> List[Tuple[bool, bool]]:
     """Run the Table II counterfactual; one ``(is_cross_currency,
     delivered)`` outcome per replayed payment, in replay order.
@@ -110,15 +113,56 @@ def replay_outcomes(
 
     With ``remove_market_makers=False`` the same replay runs on the intact
     network — the control measuring replay fidelity rather than the attack.
+
+    The cascade scenarios (:mod:`repro.chaos.cascade`) generalize the
+    counterfactual: an explicit ``banned`` set removes *those* accounts
+    from the relay fabric instead of the all-makers set, and
+    ``remove_offers_of`` cancels the victims' order-book offers while
+    leaving everyone else's standing.  Removing every maker's offers is
+    equivalent to disabling the books outright (only makers place offers
+    into ledger state), so the all-makers cascade wave reproduces Table II
+    exactly.
+    """
+    return replay_with_state(
+        history,
+        remove_market_makers=remove_market_makers,
+        banned=banned,
+        remove_offers_of=remove_offers_of,
+    )[0]
+
+
+def replay_with_state(
+    history: SyntheticHistory,
+    remove_market_makers: bool = True,
+    banned: Optional[Set[AccountID]] = None,
+    remove_offers_of: Optional[Set[AccountID]] = None,
+) -> Tuple[List[Tuple[bool, bool]], LedgerState]:
+    """:func:`replay_outcomes` plus the post-replay ledger state.
+
+    The cascade scenarios measure credit-network *health* after each
+    outage wave, which needs the ledger the replay left behind, not just
+    the delivery tallies.
     """
     if history.snapshot_state is None:
         raise AnalysisError(
             "history has no snapshot; generate with a snapshot inside the window"
         )
     state = copy.deepcopy(history.snapshot_state)
-    banned: Set[AccountID] = (
-        set(history.cast.market_maker_accounts()) if remove_market_makers else set()
-    )
+    allow_offers = not remove_market_makers
+    if banned is None:
+        banned = (
+            set(history.cast.market_maker_accounts())
+            if remove_market_makers
+            else set()
+        )
+    else:
+        banned = set(banned)
+        allow_offers = True
+        for owner in sorted(
+            remove_offers_of if remove_offers_of is not None else banned,
+            key=lambda account: account.address,
+        ):
+            state.remove_all_offers_of(owner)
     engine = PaymentEngine(state)
 
     # Re-apply post-snapshot trust-line updates, as the paper did.
@@ -154,10 +198,10 @@ def replay_outcomes(
             Amount.from_value(Currency(intent.currency), intent.amount),
             send_max=send_max,
             banned_intermediaries=banned,
-            allow_offers=not remove_market_makers,
+            allow_offers=allow_offers,
         )
         outcomes.append((intent.is_cross_currency, outcome.success))
-    return outcomes
+    return outcomes, state
 
 
 def tally_outcomes(outcomes: Sequence[Tuple[bool, bool]]) -> ReplayResult:

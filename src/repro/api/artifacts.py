@@ -13,7 +13,8 @@ packages.
 from __future__ import annotations
 
 import sys
-from typing import List
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.analysis import (
     TransactionDataset,
@@ -25,6 +26,20 @@ from repro.analysis import (
     top_intermediaries,
 )
 from repro.analysis.archive import load_archive
+from repro.analysis.health import (
+    DEFAULT_PAIR_SAMPLE,
+    DEFAULT_TARGET_AMOUNT,
+    HealthReport,
+    IssuerConcentration,
+    LiquidityDistribution,
+    SettlabilityProbe,
+    UtilizationProfile,
+    issuer_concentration,
+    liquidity_distribution,
+    render_health,
+    settlability_outcomes,
+    utilization_profile,
+)
 from repro.durability import IngestStats
 from repro.analysis.market_makers import (
     merge_replay_results,
@@ -339,5 +354,90 @@ register(
         shards=dataset_shards,
         compute_shard=shard_fn(population_shard_partial),
         merge=lambda partials, dataset: merge_population_partials(partials),
+    ),
+)
+
+
+# health ---------------------------------------------------------------------
+
+
+@dataclass
+class HealthContext:
+    """Tally-independent health dimensions plus the probe outcome stream."""
+
+    liquidity: LiquidityDistribution
+    issuers: IssuerConcentration
+    utilization: UtilizationProfile
+    amount: float
+    outcomes: List[bool]
+
+
+def _health_context(args: ArtifactRequest) -> HealthContext:
+    history = history_for(args)
+    wallets = [user.account for user in history.cast.users]
+    pairs = int(args.option("pairs") or DEFAULT_PAIR_SAMPLE)
+    amount = float(args.option("amount") or DEFAULT_TARGET_AMOUNT)
+    state = history.state
+    return HealthContext(
+        liquidity=liquidity_distribution(state, wallets),
+        issuers=issuer_concentration(state),
+        utilization=utilization_profile(state),
+        amount=amount,
+        outcomes=settlability_outcomes(
+            state, wallets, pairs=pairs, amount=amount, seed=args.seed
+        ),
+    )
+
+
+def tally_settlability(outcomes: Sequence[bool]) -> Tuple[int, int]:
+    """(pairs, settlable) over a slice of probe outcomes (pure, shardable)."""
+    return len(outcomes), sum(1 for settlable in outcomes if settlable)
+
+
+def _finish_health(
+    context: HealthContext, pairs: int, settlable: int
+) -> ArtifactResult:
+    report = HealthReport(
+        liquidity=context.liquidity,
+        issuers=context.issuers,
+        utilization=context.utilization,
+        settlability=SettlabilityProbe(
+            pairs=pairs, settlable=settlable, amount=context.amount
+        ),
+    )
+    return ArtifactResult(
+        data=report,
+        metrics={
+            "settlability_pairs": pairs,
+            "settlable_fraction": report.settlability.fraction,
+        },
+        manifest={"health": report.as_dict()},
+    )
+
+
+def _compute_health(args: ArtifactRequest) -> ArtifactResult:
+    context = _health_context(args)
+    return _finish_health(context, *tally_settlability(context.outcomes))
+
+
+def _merge_health(partials, context: HealthContext) -> ArtifactResult:
+    pairs = sum(partial[0] for partial in partials)
+    settlable = sum(partial[1] for partial in partials)
+    return _finish_health(context, pairs, settlable)
+
+
+register(
+    "health",
+    "credit-network health: liquidity, concentration, utilization, "
+    "settlability",
+    _compute_health,
+    lambda report, args: render_health(report),
+    # The ledger walk runs serially in prepare; the settlability tally
+    # shards (any contiguous partition merges identically to serial).
+    sharded=ShardedCompute(
+        prepare=_health_context,
+        shards=lambda context, n: _sequence_shards(context.outcomes, n),
+        compute_shard=tally_settlability,
+        merge=_merge_health,
     ),
 )

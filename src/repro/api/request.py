@@ -40,15 +40,21 @@ DEFAULT_SCALE = 600
 DEFAULT_PAYMENTS = 12_000
 
 #: Artifact-specific option keys a request may carry.
-OPTION_KEYS = ("period", "plan", "rounds", "top")
+OPTION_KEYS = (
+    "amount", "kind", "pairs", "period", "plan", "rounds", "top", "waves",
+)
 
 #: Option values considered "not specified": a request carrying one of
 #: these explicitly canonicalizes identically to a request omitting it.
 CANONICAL_OPTION_DEFAULTS: Dict[str, Any] = {
+    "amount": None,
+    "kind": "outage",
+    "pairs": None,
     "period": None,
     "plan": "partition",
     "rounds": 240,
     "top": None,
+    "waves": None,
 }
 
 
@@ -216,13 +222,20 @@ class ArtifactRequest:
         return payload
 
     def canonical_options(self) -> Dict[str, Any]:
-        """Options with defaults dropped: explicit-default == omitted."""
-        return {
-            key: value
-            for key, value in self.options
-            if value is not None
-            and value != CANONICAL_OPTION_DEFAULTS.get(key)
-        }
+        """Options with defaults dropped: explicit-default == omitted.
+
+        Integral floats normalize to ints (``--amount 10.0`` on the CLI
+        and ``"amount": 10`` in a JSON body are the same request), the
+        same spelling-invariance rule as explicit-vs-omitted defaults.
+        """
+        canonical: Dict[str, Any] = {}
+        for key, value in self.options:
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            if value is None or value == CANONICAL_OPTION_DEFAULTS.get(key):
+                continue
+            canonical[key] = value
+        return canonical
 
     def canonical_invocation(self) -> Dict[str, Any]:
         """The semantic parameters of this request, defaults normalized.

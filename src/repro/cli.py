@@ -42,6 +42,7 @@ from typing import List, Optional
 
 import repro.chaos.report  # noqa: F401  (registers the 'chaos' artifact)
 from repro.api import ARTIFACTS, ArtifactRequest, artifact, economy_config
+from repro.chaos.cascade import CASCADE_KINDS  # registers 'cascade'
 from repro.durability import atomic_write
 from repro.errors import AnalysisError
 from repro.api.artifacts import dataset_for as _dataset_for  # noqa: F401
@@ -489,6 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "fork_threshold":
             sub.add_argument("--rounds", type=int, default=240,
                              help="ledger-close attempts per sweep point")
+        elif name == "health":
+            # Defaults stay None (the fig4 --top rule): an explicit
+            # default must fingerprint identically to an omitted flag.
+            sub.add_argument("--pairs", type=int, default=None,
+                             help="settlability probe pair sample size")
+            sub.add_argument("--amount", type=float, default=None,
+                             help="settlability target amount")
+        elif name == "cascade":
+            sub.add_argument("--kind", default=None, choices=CASCADE_KINDS,
+                             help="cascade scenario kind")
+            sub.add_argument("--waves", type=int, default=None,
+                             help="removal waves / unwind rounds")
+            sub.add_argument("--pairs", type=int, default=None,
+                             help="settlability probe pair sample size")
+            sub.add_argument("--amount", type=float, default=None,
+                             help="settlability target amount")
         sub.set_defaults(func=cmd_artifact)
 
     sub = subparsers.add_parser("generate", parents=[parent],

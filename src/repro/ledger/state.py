@@ -239,6 +239,24 @@ class LedgerState:
         """All lines where others extend credit to ``trustee``."""
         return self._lines_by_trustee.get(trustee, [])
 
+    def close_trust_line(
+        self, truster: AccountID, trustee: AccountID, currency: Currency
+    ) -> float:
+        """Write off and close the line ``truster -> trustee`` (forced unwind).
+
+        The trustee's debt is erased — not repaid — and the credit limit
+        withdrawn, so the line stops carrying payments; the truster eats
+        the loss.  This is the ledger primitive behind the ADL-style
+        unwind cascade.  Returns the face value written off in the line's
+        own currency; closing a missing line is a no-op returning 0.0.
+        """
+        line = self.trustlines.get((truster, trustee, currency.code))
+        if line is None:
+            return 0.0
+        lost = line.write_off()
+        self._touch_trust(truster, trustee, currency.code)
+        return lost.to_float()
+
     def iou_balance(self, holder: AccountID, currency: Currency) -> Amount:
         """Net IOU position of ``holder`` in ``currency``: credit − debt."""
         total = Amount.zero(currency)

@@ -118,6 +118,20 @@ class TrustLine:
         self.limit = limit
         self._refresh_float_cache()
 
+    def write_off(self) -> Amount:
+        """Forcibly cancel the debt and withdraw the limit (forced unwind).
+
+        Unlike :meth:`settle_debt`, nothing is repaid: the truster
+        forfeits the IOUs it holds on this line and stops extending
+        credit, so the line drops out of every payment path.  Returns
+        the written-off balance.
+        """
+        lost = self.balance
+        self.balance = self.balance - self.balance
+        self.limit = self.limit - self.limit
+        self._refresh_float_cache()
+        return lost
+
     def is_dead(self) -> bool:
         """True when the line carries no limit and no balance (removable)."""
         return self.limit.is_zero and self.balance.is_zero

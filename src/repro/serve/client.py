@@ -23,7 +23,7 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.errors import AnalysisError
-from repro.serve.codec import decode_response, encode_request
+from repro.serve.codec import ControlRequest, decode_response, encode_request
 
 
 class ServeError(AnalysisError):
@@ -82,21 +82,25 @@ class ServeClient:
         payload.update(fields)
         return self.call(payload)
 
-    def ping(self) -> Dict[str, Any]:
-        return self.call({"op": "ping"})
+    def control(self, request: ControlRequest) -> Dict[str, Any]:
+        """Send one typed control operation (the op helpers build these)."""
+        return self.call(request.to_dict())
 
-    def stats(self) -> Dict[str, Any]:
-        return self.call({"op": "stats"})
+    def ping(self) -> Dict[str, Any]:
+        return self.control(ControlRequest("ping"))
+
+    def stats(self, prefix: Optional[str] = None) -> Dict[str, Any]:
+        """Daemon counters/gauges, optionally filtered to one prefix."""
+        return self.control(ControlRequest("stats", {"prefix": prefix}))
 
     def shutdown(self) -> Dict[str, Any]:
-        return self.call({"op": "shutdown"})
+        return self.control(ControlRequest("shutdown"))
 
     def live_status(self, state_dir: Optional[str] = None) -> Dict[str, Any]:
         """Read a live ingest pipeline's status through the daemon."""
-        payload: Dict[str, Any] = {"op": "live_status"}
-        if state_dir is not None:
-            payload["state_dir"] = state_dir
-        return self.call(payload)
+        return self.control(
+            ControlRequest("live_status", {"state_dir": state_dir})
+        )
 
     def wait_ready(self, attempts: int = 100, delay: float = 0.1) -> None:
         """Block until the daemon answers a ping (startup races, drills)."""

@@ -8,20 +8,26 @@ tests, and from the :mod:`repro.serve.client` helper alike:
   (``"artifact"``) plus any :class:`~repro.api.request.ArtifactRequest`
   fields, or a control operation (``{"op": "ping"}``, ``{"op":
   "stats"}``, ``{"op": "shutdown"}``, ``{"op": "live_status",
-  "state_dir": "..."}``) — control ops may carry extra parameters,
-  returned to the dispatcher alongside the op name;
+  "state_dir": "..."}``);
 * the server replies with **one line** of JSON — a
   :class:`~repro.api.registry.ResultEnvelope` dict for artifact
   requests, a small status object for control ops — and closes.
 
-Responses are serialized with sorted keys, so two equivalent responses
-are byte-identical — the property the serve drill asserts with sha256.
+Both request families decode into frozen types: artifact bodies become
+an :class:`~repro.api.request.ArtifactRequest`, control bodies a
+:class:`ControlRequest` mirroring its discipline — parameters are
+validated per op (a typo'd key fails loudly), ``None`` values drop, and
+the surviving pairs sort, so two equivalent control requests are *the
+same value*.  Responses are serialized with sorted keys, so two
+equivalent responses are byte-identical — the property the serve drill
+asserts with sha256.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple, Union
 
 from repro.api.request import ArtifactRequest, RequestError
 
@@ -31,19 +37,83 @@ MAX_LINE_BYTES = 1 << 20
 #: Control operations the daemon answers besides artifact requests.
 CONTROL_OPS = ("ping", "stats", "shutdown", "live_status")
 
+#: The parameters each control op accepts; anything else is a typo and
+#: rejected at decode time (the ArtifactRequest.from_dict rule).
+CONTROL_PARAM_KEYS: Dict[str, Tuple[str, ...]] = {
+    "ping": (),
+    "stats": ("prefix",),
+    "shutdown": (),
+    "live_status": ("state_dir",),
+}
+
 
 class CodecError(RequestError):
     """A wire line that cannot be decoded into a request."""
 
 
-def decode_request(
-    line: str,
-) -> Tuple[str, Optional[ArtifactRequest], Dict[str, Any]]:
-    """``(op, request, params)`` from one wire line.
+@dataclass(frozen=True)
+class ControlRequest:
+    """One typed control operation, fully specified and hashable.
 
-    ``request`` is None for control ops; ``params`` carries the leftover
-    payload fields (``live_status`` reads ``state_dir`` from it) and is
-    empty for artifact requests.
+    The control-plane sibling of :class:`ArtifactRequest`: ``op`` names
+    the operation, ``params`` carries its parameters as sorted ``(key,
+    value)`` pairs with ``None`` values dropped — so ``{"op":
+    "live_status"}`` and ``{"op": "live_status", "state_dir": null}``
+    decode to equal values, exactly like explicit-default artifact
+    options canonicalize away.
+    """
+
+    op: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in CONTROL_OPS:
+            raise CodecError(
+                f"unknown op {self.op!r}; known: artifact, "
+                f"{', '.join(CONTROL_OPS)}"
+            )
+        raw = self.params
+        if isinstance(raw, Mapping):
+            raw = tuple(raw.items())
+        allowed = CONTROL_PARAM_KEYS[self.op]
+        pairs = []
+        for key, value in raw:
+            if key not in allowed:
+                raise CodecError(
+                    f"op {self.op!r} takes no parameter {key!r}"
+                    + (f"; known: {', '.join(allowed)}" if allowed else "")
+                )
+            if value is not None:
+                pairs.append((str(key), value))
+        object.__setattr__(self, "params", tuple(sorted(pairs)))
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire shape (round-trips through :func:`decode_request`)."""
+        payload: Dict[str, Any] = {"op": self.op}
+        payload.update(dict(self.params))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ControlRequest":
+        body = dict(payload)
+        op = body.pop("op", None)
+        if not op:
+            raise CodecError('control request needs an "op" key')
+        return cls(op=str(op), params=tuple(body.items()))
+
+
+def decode_request(line: str) -> Union[ArtifactRequest, ControlRequest]:
+    """The typed request carried by one wire line.
+
+    A body with no ``op`` (or ``op == "artifact"``) decodes into an
+    :class:`ArtifactRequest`; a control op decodes into a
+    :class:`ControlRequest`.  Dispatch on the type.
     """
     if len(line) > MAX_LINE_BYTES:
         raise CodecError(f"request line exceeds {MAX_LINE_BYTES} bytes")
@@ -53,17 +123,16 @@ def decode_request(
         raise CodecError(f"request is not valid JSON: {exc}") from None
     if not isinstance(payload, dict):
         raise CodecError("request must be a JSON object")
-    op = payload.pop("op", "artifact")
-    if op in CONTROL_OPS:
-        return op, None, payload
-    if op != "artifact":
-        raise CodecError(
-            f"unknown op {op!r}; known: artifact, {', '.join(CONTROL_OPS)}"
-        )
-    return op, ArtifactRequest.from_dict(payload), {}
+    op = payload.get("op", "artifact")
+    if op == "artifact":
+        payload.pop("op", None)
+        return ArtifactRequest.from_dict(payload)
+    return ControlRequest.from_dict(payload)
 
 
-def encode_request(payload: Dict[str, Any]) -> bytes:
+def encode_request(payload: Union[Dict[str, Any], ControlRequest]) -> bytes:
+    if isinstance(payload, ControlRequest):
+        payload = payload.to_dict()
     return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
 
 

@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Any, Dict, Optional, Tuple
 
+import repro.chaos.cascade  # noqa: F401  (registers the 'cascade' artifact)
 import repro.chaos.report  # noqa: F401  (registers chaos + fork_threshold)
 from repro.api import artifact
 from repro.api.registry import ResultEnvelope
@@ -48,6 +49,7 @@ from repro.obs.trace import TRACER
 from repro.serve.codec import (
     MAX_LINE_BYTES,
     CodecError,
+    ControlRequest,
     decode_request,
     encode_response,
 )
@@ -175,23 +177,35 @@ class ArtifactServer:
 
     # Control operations ------------------------------------------------------
 
-    def stats(self) -> Dict[str, Any]:
+    #: Metric namespaces ``{"op": "stats"}`` surfaces by default; the
+    #: cascade gauges make long-running collapse curves watchable live.
+    STATS_PREFIXES = ("serve.", "parallel.", "cascade.", "health.")
+
+    def stats(self, prefix: Optional[str] = None) -> Dict[str, Any]:
+        """Counters and gauges, filtered to ``prefix`` when one is given."""
+        wanted = (str(prefix),) if prefix else self.STATS_PREFIXES
         snapshot = METRICS.snapshot()
         counters = {
             name: value
             for name, value in snapshot.get("counters", {}).items()
-            if name.startswith(("serve.", "parallel."))
+            if name.startswith(wanted)
+        }
+        gauges = {
+            name: value
+            for name, value in snapshot.get("gauges", {}).items()
+            if name.startswith(wanted)
         }
         return {
             "status": "ok",
             "op": "stats",
             "pid": os.getpid(),
             "counters": counters,
+            "gauges": gauges,
             "cache_entries": len(self.store),
             "in_flight": self.flights.in_flight(),
         }
 
-    def live_status(self, params: Dict[str, Any]) -> Dict[str, Any]:
+    def live_status(self, request: ControlRequest) -> Dict[str, Any]:
         """The newest status an ingest pipeline wrote under a state dir.
 
         ``state_dir`` comes from the request, falling back to the
@@ -202,7 +216,7 @@ class ArtifactServer:
         from repro.errors import IngestError
         from repro.online.pipeline import read_status
 
-        state_dir = params.get("state_dir") or self.ingest_state_dir
+        state_dir = request.param("state_dir") or self.ingest_state_dir
         if not state_dir:
             return {
                 "status": "error",
@@ -261,17 +275,19 @@ class ArtifactServer:
     def respond(self, line: str) -> Tuple[bytes, bool]:
         """(response bytes, shutdown?) for one decoded wire line."""
         try:
-            op, request, params = decode_request(line)
+            request = decode_request(line)
         except (CodecError, AnalysisError) as exc:
             METRICS.count("serve.errors")
             return encode_response({"status": "error", "error": str(exc)}), False
-        if op == "ping":
-            return encode_response(self.ping()), False
-        if op == "stats":
-            return encode_response(self.stats()), False
-        if op == "live_status":
-            return encode_response(self.live_status(params)), False
-        if op == "shutdown":
+        if isinstance(request, ControlRequest):
+            if request.op == "ping":
+                return encode_response(self.ping()), False
+            if request.op == "stats":
+                return encode_response(
+                    self.stats(request.param("prefix"))
+                ), False
+            if request.op == "live_status":
+                return encode_response(self.live_status(request)), False
             self.log("shutdown requested")
             return (
                 encode_response({"status": "ok", "op": "shutdown"}),

@@ -22,6 +22,16 @@ from repro.obs.manifest import request_fingerprint
 #: ``FINGERPRINT_SCHEMA_VERSION``), not an accident.
 PINNED_FIG3 = "adc00f24885ed14a1532dbde8c912b402a5d79f3799f95e9f7b1d6e33032831b"
 
+#: ``cascade --seed 7 --payments 4000 --kind gateway-default --waves 3
+#: --pairs 50 --amount 25`` and ``health --seed 7 --payments 4000
+#: --pairs 120 --amount 10`` — the same contract for the new options.
+PINNED_CASCADE = (
+    "21e8ff1603621f96eb6984b2dc58aee364c484d43a862a2ce2de96c932b476a4"
+)
+PINNED_HEALTH = (
+    "aeb46d1462ac0a1d6baf7a6131ef23794648f09243b3e6774f6f956b18c5fcdf"
+)
+
 
 class TestConstruction:
     def test_defaults_match_cli_defaults(self):
@@ -167,6 +177,67 @@ class TestFingerprintRegression:
         )
         request = ArtifactRequest.from_namespace(args)
         assert request_fingerprint(request) == PINNED_FIG3
+
+    def test_pinned_cascade_fingerprint(self):
+        request = ArtifactRequest(
+            name="cascade", seed=7, payments=4000,
+            options={
+                "kind": "gateway-default", "waves": 3,
+                "pairs": 50, "amount": 25.0,
+            },
+        )
+        assert request_fingerprint(request) == PINNED_CASCADE
+
+    def test_pinned_health_fingerprint(self):
+        request = ArtifactRequest(
+            name="health", seed=7, payments=4000,
+            options={"pairs": 120, "amount": 10.0},
+        )
+        assert request_fingerprint(request) == PINNED_HEALTH
+
+
+class TestHealthCascadeCanonicalization:
+    """CLI and JSON spellings of the new options fingerprint alike."""
+
+    def test_cli_float_equals_json_int_amount(self):
+        # argparse parses --amount 10 as the float 10.0; a JSON body says
+        # the integer 10.  Same request, same fingerprint.
+        cli = ArtifactRequest(
+            name="health", seed=7, payments=4000,
+            options={"pairs": 120, "amount": 10.0},
+        )
+        body = ArtifactRequest.from_dict(
+            {"artifact": "health", "seed": 7, "payments": 4000,
+             "pairs": 120, "amount": 10}
+        )
+        assert request_fingerprint(cli) == request_fingerprint(body)
+        assert request_fingerprint(cli) == PINNED_HEALTH
+
+    def test_explicit_default_kind_drops_out(self):
+        # The fig4 --top rule: an explicit default must not fork the
+        # fingerprint from an omitted flag.
+        explicit = ArtifactRequest(
+            name="cascade", seed=7, options={"kind": "outage"}
+        )
+        omitted = ArtifactRequest(name="cascade", seed=7)
+        assert request_fingerprint(explicit) == request_fingerprint(omitted)
+
+    def test_cascade_options_change_identity(self):
+        base = ArtifactRequest(name="cascade", seed=7, payments=4000)
+        for options in (
+            {"kind": "unwind"},
+            {"waves": 8},
+            {"pairs": 40},
+            {"amount": 2.5},
+        ):
+            variant = base.replace(options=options)
+            assert request_fingerprint(variant) != request_fingerprint(base)
+
+    def test_fractional_amount_stays_float(self):
+        request = ArtifactRequest(
+            name="health", options={"amount": 2.5}
+        )
+        assert request.canonical_options() == {"amount": 2.5}
 
 
 class TestArchiveInputs:

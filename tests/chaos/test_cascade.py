@@ -1,0 +1,130 @@
+"""Cascade stress scenarios: the collapse curve, rankings, forced unwind.
+
+The outage cascade's final wave *is* the Table II counterfactual: every
+market maker banned and the books emptied.  The first test states that
+equivalence against :func:`table2` itself, so the cascade can never drift
+from the replay it generalizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.analysis.market_makers import table2
+from repro.chaos.cascade import (
+    CASCADE_KINDS,
+    rank_gateways,
+    rank_market_makers,
+    run_cascade,
+)
+from repro.api.registry import ArtifactError
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def outage(history):
+    """One shared two-wave outage cascade (replays are the expensive part)."""
+    return run_cascade(history, kind="outage", waves=2, pairs=10)
+
+
+class TestOutageCascade:
+    def test_final_wave_is_the_table2_counterfactual(self, history):
+        cascade = run_cascade(history, kind="outage", waves=1, pairs=0)
+        final = cascade.final.delivery
+        expected = table2(history)
+        for got, want in (
+            (final.cross_currency, expected.cross_currency),
+            (final.single_currency, expected.single_currency),
+            (final.total, expected.total),
+        ):
+            assert (got.submitted, got.delivered) == (
+                want.submitted,
+                want.delivered,
+            )
+
+    def test_wave_zero_is_the_intact_control(self, outage):
+        first = outage.waves[0]
+        assert first.removed == 0
+        assert first.label == "intact"
+        assert first.delivery is not None
+
+    def test_removed_counts_grow_monotonically(self, outage, history):
+        removed = [wave.removed for wave in outage.waves]
+        assert removed == sorted(removed)
+        assert removed[-1] == len(rank_market_makers(history))
+
+    def test_delivery_collapses_along_the_curve(self, outage):
+        rates = [wave.delivery.total.delivery_rate for wave in outage.waves]
+        assert rates[-1] < rates[0]
+
+    def test_every_wave_carries_a_health_report(self, outage):
+        for wave in outage.waves:
+            assert wave.health.settlability.pairs == 10
+            assert 0.0 <= wave.health.settlability.fraction <= 1.0
+
+
+class TestUnwindCascade:
+    def test_rounds_close_lines_without_replaying(self, history):
+        cascade = run_cascade(history, kind="unwind", waves=2, pairs=10)
+        assert cascade.kind == "unwind"
+        rounds = cascade.waves[1:]
+        assert rounds, "the synthetic economy always has credited lines"
+        for wave in rounds:
+            assert wave.delivery is None
+            assert "unwound" in wave.label
+        removed = [wave.removed for wave in cascade.waves]
+        assert removed[0] == 0
+        assert all(a < b for a, b in zip(removed, removed[1:]))
+
+
+class TestRankings:
+    def test_maker_ranking_is_deterministic(self, history):
+        first = rank_market_makers(history)
+        assert first == rank_market_makers(history)
+        assert set(first) == {m.account for m in history.cast.market_makers}
+
+    def test_gateway_ranking_is_deterministic(self, history):
+        first = rank_gateways(history)
+        assert first == rank_gateways(history)
+        assert set(first) == {g.account for g in history.cast.gateways}
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self, history):
+        with pytest.raises(ArtifactError, match="unknown cascade kind"):
+            run_cascade(history, kind="meteor")
+
+    def test_zero_waves_rejected(self, history):
+        with pytest.raises(ArtifactError, match="at least one wave"):
+            run_cascade(history, kind="outage", waves=0)
+
+    def test_kind_registry_is_closed(self):
+        assert CASCADE_KINDS == ("outage", "gateway-default", "unwind")
+
+
+class TestShardedEquivalence:
+    """`--jobs 2` must be byte-identical to serial for both new artifacts."""
+
+    SMALL = ["--payments", "1200", "--seed", "5"]
+
+    @pytest.mark.parametrize(
+        "command, flags",
+        [
+            ("health", ["--pairs", "40"]),
+            ("cascade", ["--waves", "2", "--pairs", "20"]),
+        ],
+    )
+    def test_jobs2_matches_serial_bytes(self, command, flags, tmp_path, capsys):
+        serial = tmp_path / f"{command}-serial.txt"
+        sharded = tmp_path / f"{command}-jobs2.txt"
+        base = [command, *self.SMALL, *flags]
+        assert main([*base, "--jobs", "1", "--out", str(serial)]) == 0
+        assert main([*base, "--jobs", "2", "--out", str(sharded)]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == sharded.read_bytes()
+        assert (
+            hashlib.sha256(serial.read_bytes()).hexdigest()
+            == hashlib.sha256(sharded.read_bytes()).hexdigest()
+        )

@@ -17,7 +17,8 @@ import pytest
 from repro.obs.metrics import METRICS
 from repro.online import IngestConfig, IngestPipeline
 from repro.serve.client import ServeClient
-from repro.serve.codec import CodecError, decode_request
+from repro.api.request import ArtifactRequest
+from repro.serve.codec import CodecError, ControlRequest, decode_request
 from repro.serve.daemon import ArtifactServer, make_server
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
@@ -40,41 +41,52 @@ def _drained_state_dir(tmp_path) -> str:
 
 
 class TestCodec:
-    def test_control_op_carries_params(self):
-        op, request, params = decode_request(
-            '{"op": "live_status", "state_dir": "/x"}'
-        )
-        assert op == "live_status"
-        assert request is None
-        assert params == {"state_dir": "/x"}
+    def test_control_op_decodes_typed(self):
+        request = decode_request('{"op": "live_status", "state_dir": "/x"}')
+        assert isinstance(request, ControlRequest)
+        assert request.op == "live_status"
+        assert request.param("state_dir") == "/x"
 
-    def test_artifact_request_has_no_params(self):
-        op, request, params = decode_request('{"artifact": "fig3", "seed": 3}')
-        assert op == "artifact"
+    def test_artifact_body_decodes_typed(self):
+        request = decode_request('{"artifact": "fig3", "seed": 3}')
+        assert isinstance(request, ArtifactRequest)
         assert request.name == "fig3"
-        assert params == {}
+        assert request.seed == 3
 
     def test_unknown_op_rejected(self):
         with pytest.raises(CodecError, match="unknown op"):
             decode_request('{"op": "flood"}')
 
+    def test_unknown_control_param_rejected(self):
+        with pytest.raises(CodecError, match="takes no parameter"):
+            decode_request('{"op": "ping", "state_dir": "/x"}')
+
+    def test_none_params_canonicalize_away(self):
+        explicit = ControlRequest("live_status", {"state_dir": None})
+        assert explicit == ControlRequest("live_status")
+        assert explicit.to_dict() == {"op": "live_status"}
+
+    def test_control_round_trip(self):
+        request = ControlRequest("stats", {"prefix": "cascade."})
+        assert decode_request(json.dumps(request.to_dict())) == request
+
 
 class TestLiveStatus:
     def test_no_state_dir_is_an_error(self, tmp_path):
-        response = _server(tmp_path).live_status({})
+        response = _server(tmp_path).live_status(ControlRequest("live_status"))
         assert response["status"] == "error"
         assert "no state_dir" in response["error"]
 
     def test_missing_status_file_is_an_error(self, tmp_path):
         server = _server(tmp_path, ingest_state_dir=str(tmp_path / "nowhere"))
-        response = server.live_status({})
+        response = server.live_status(ControlRequest("live_status"))
         assert response["status"] == "error"
         assert METRICS.counters["serve.live_status.misses"] == 1
 
     def test_reads_pipeline_status(self, tmp_path):
         state_dir = _drained_state_dir(tmp_path)
         server = _server(tmp_path, ingest_state_dir=state_dir)
-        response = server.live_status({})
+        response = server.live_status(ControlRequest("live_status"))
         assert response["status"] == "ok"
         assert response["ingest"]["phase"] == "drained"
         assert response["ingest"]["applied_seq"] == -1
@@ -83,7 +95,9 @@ class TestLiveStatus:
     def test_request_state_dir_overrides_default(self, tmp_path):
         state_dir = _drained_state_dir(tmp_path)
         server = _server(tmp_path, ingest_state_dir=str(tmp_path / "other"))
-        response = server.live_status({"state_dir": state_dir})
+        response = server.live_status(
+            ControlRequest("live_status", {"state_dir": state_dir})
+        )
         assert response["status"] == "ok"
         assert response["state_dir"] == state_dir
 
